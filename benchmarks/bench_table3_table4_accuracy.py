@@ -1,0 +1,39 @@
+"""Benchmarks for Table III (accuracy vs MV/MVB) and Table IV (modulation)."""
+
+import pytest
+
+from repro.experiments import tables
+
+
+def test_table3_accuracy_vs_measure_biased(record_experiment, bench_scale):
+    """Table III — ISLA ~100, MV ~104, MVB ~100.5 on N(100, 20^2)."""
+    result = record_experiment(
+        tables.run_table3_accuracy,
+        datasets=10,
+        data_size=bench_scale,
+        precision=0.1,
+        seed=0,
+    )
+    average = result.rows[-1].values
+    assert average["ISLA"] == pytest.approx(100.0, abs=0.3)
+    assert average["MV"] == pytest.approx(104.0, abs=1.0)
+    assert average["MVB"] == pytest.approx(100.5, abs=0.5)
+    # Ordering: ISLA closest to the truth, MV farthest.
+    assert abs(average["ISLA"] - 100.0) < abs(average["MVB"] - 100.0) < abs(
+        average["MV"] - 100.0
+    )
+
+
+def test_table4_modulation_abilities(record_experiment, bench_scale):
+    """Table IV — every ISLA partial answer is closer to 100 than MV's."""
+    result = record_experiment(
+        tables.run_table4_modulation,
+        data_size=bench_scale,
+        precision=0.1,
+        seed=0,
+    )
+    assert len(result.rows) == 10
+    for row in result.rows:
+        assert abs(row.values["ISLA_partial"] - 100.0) < abs(
+            row.values["MV_partial"] - 100.0
+        )

@@ -1,0 +1,25 @@
+"""Benchmark for Table V — ISLA at one third of the sample budget vs US / STS."""
+
+from repro.experiments import tables
+
+
+def test_table5_isla_third_budget(record_experiment, bench_scale):
+    """Table V — ISLA with r/3 stays within the e = 0.5 precision target."""
+    result = record_experiment(
+        tables.run_table5_uniform_stratified,
+        datasets=5,
+        data_size=bench_scale,
+        precision=0.5,
+        seed=0,
+    )
+    isla_errors = result.column_values("ISLA_error")
+    us_errors = result.column_values("US_error")
+    # The paper claims ISLA meets the precision requirement with a third of
+    # the samples.  Our reproduction confirms it for most data sets but shows
+    # a higher variance than the paper reports (see EXPERIMENTS.md): require
+    # a majority within the target and a hard cap of 3e on every run.
+    within = sum(error <= 0.5 for error in isla_errors)
+    assert within >= (len(isla_errors) + 1) // 2
+    assert max(isla_errors) <= 1.5
+    # And the baselines must also be reported (sanity check on the harness).
+    assert len(us_errors) == len(isla_errors)

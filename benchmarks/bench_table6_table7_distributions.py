@@ -1,0 +1,34 @@
+"""Benchmarks for Table VI (exponential) and Table VII (uniform) distributions."""
+
+import pytest
+
+from repro.experiments import tables
+
+
+def test_table6_exponential(record_experiment, bench_scale):
+    """Table VI — ISLA stays near 1/gamma while MV roughly doubles it."""
+    result = record_experiment(
+        tables.run_table6_exponential,
+        rates=(0.05, 0.1, 0.15, 0.2),
+        data_size=bench_scale,
+        seed=0,
+    )
+    for row in result.rows:
+        truth = row.values["accurate"]
+        assert abs(row.values["ISLA"] - truth) / truth < 0.25
+        assert row.values["MV"] == pytest.approx(2.0 * truth, rel=0.15)
+        assert abs(row.values["ISLA"] - truth) < abs(row.values["MV"] - truth)
+
+
+def test_table7_uniform(record_experiment, bench_scale):
+    """Table VII — ISLA near 100, MV near 133, MVB off by several units."""
+    result = record_experiment(
+        tables.run_table7_uniform,
+        datasets=5,
+        data_size=bench_scale,
+        seed=0,
+    )
+    for row in result.rows:
+        assert row.values["ISLA"] == pytest.approx(100.0, abs=2.0)
+        assert row.values["MV"] == pytest.approx(133.0, abs=3.0)
+        assert abs(row.values["ISLA"] - 100.0) < abs(row.values["MVB"] - 100.0)

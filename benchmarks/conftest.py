@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark wraps one experiment runner from :mod:`repro.experiments` in
+pytest-benchmark, records the reproduced table in ``benchmark.extra_info`` and
+prints it so ``pytest benchmarks/ --benchmark-only -s`` shows the paper-style
+output next to the timings.  Scales are reduced relative to the paper (see
+DESIGN.md §4); pass ``--bench-scale`` to change the default row count.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        type=int,
+        default=150_000,
+        help="rows per synthetic data set used by the benchmarks (default 150000)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request) -> int:
+    """Rows per data set for the benchmark runs."""
+    return int(request.config.getoption("--bench-scale"))
+
+
+@pytest.fixture
+def record_experiment(benchmark):
+    """Run an experiment runner once under the benchmark and record its table."""
+
+    def runner(experiment_callable, **kwargs):
+        result = benchmark.pedantic(
+            lambda: experiment_callable(**kwargs), rounds=1, iterations=1
+        )
+        benchmark.extra_info["experiment"] = result.experiment_id
+        benchmark.extra_info["title"] = result.title
+        benchmark.extra_info["rows"] = [
+            {"label": row.label, **row.values} for row in result.rows
+        ]
+        print()
+        print(result.to_text())
+        return result
+
+    return runner

@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (e.g. offline environments where ``pip install -e .`` cannot build
+an editable wheel).  When the package *is* installed this is a harmless
+no-op because the installed distribution takes the same import name.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

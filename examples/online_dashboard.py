@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Online (progressive) aggregation driving a latency-bounded dashboard.
+
+Two of the paper's extensions in one scenario:
+
+* **Online mode (Section VII-A).**  A dashboard first shows a coarse answer,
+  then keeps refining it with additional sampling rounds.  Because ISLA keeps
+  only the per-region power sums, every refinement reuses all previous work
+  without storing a single sample.
+* **Time-constrained mode (Section VII-F).**  The same dashboard can instead
+  ask for "the best answer you can give me in 200 ms".
+
+Run with:  python examples/online_dashboard.py
+"""
+
+from __future__ import annotations
+
+from repro import ISLAConfig
+from repro.extensions.online import OnlineAggregator
+from repro.extensions.time_constraint import TimeConstrainedAggregator
+from repro.workloads.synthetic import MixtureWorkload, NormalWorkload
+
+
+def main() -> None:
+    # A request-latency column (milliseconds): two overlapping service-time
+    # clusters — the "superimposed normals" shape the paper argues real data
+    # usually takes (Section VII-B).
+    workload = MixtureWorkload(
+        600_000,
+        components=[
+            NormalWorkload(600_000, mean=230.0, std=30.0),
+            NormalWorkload(600_000, mean=270.0, std=30.0),
+        ],
+        weights=[0.5, 0.5],
+        seed=13,
+    )
+    store = workload.generate_store("latencies", block_count=10)
+    truth = store.exact_mean()
+    print(f"latency column: {store.total_rows} rows, exact mean {truth:.2f} ms")
+
+    # ----------------------------------------------------------- online mode
+    config = ISLAConfig(precision=truth * 0.01)
+    online = OnlineAggregator(config, seed=29)
+    result = online.start(store, initial_rate=0.002)
+    print("\nprogressive refinement")
+    print(f"  round 1: estimate={result.value:10.2f} error={abs(result.value - truth):8.2f} "
+          f"samples={result.sample_size}")
+    for round_number in range(2, 6):
+        result = online.refine(additional_rate=0.002)
+        print(f"  round {round_number}: estimate={result.value:10.2f} "
+              f"error={abs(result.value - truth):8.2f} samples={result.sample_size}")
+
+    # --------------------------------------------------- time-constrained mode
+    print("\ntime-constrained answers")
+    timed = TimeConstrainedAggregator(config, seed=31)
+    for budget_ms in (100, 400):
+        answer = timed.aggregate_within(store, budget_seconds=budget_ms / 1000.0)
+        print(f"  budget {budget_ms:4d} ms: estimate={answer.value:10.2f} "
+              f"error={abs(answer.value - truth):8.2f} "
+          f"achieved precision={answer.precision:8.2f} "
+              f"elapsed={answer.elapsed_seconds * 1000:6.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

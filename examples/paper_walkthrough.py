@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Walk through the paper's own worked example and core machinery step by step.
+
+This example reproduces, with library calls, the small leverage computation of
+the paper's Example 1 (Section IV-B, Table II) and then shows how the same
+quantities feed Theorem 3's closed form and the iterative modulation.  It is
+meant as executable documentation of the algorithm's internals.
+
+Run with:  python examples/paper_walkthrough.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.accumulators import RegionMoments
+from repro.core.boundaries import DataBoundaries
+from repro.core.config import ISLAConfig
+from repro.core.leverage import LeverageNormalizer
+from repro.core.modulation import IterativeModulator, classify_case
+from repro.core.objective import ObjectiveFunction
+from repro.core.probability import leverage_based_average
+
+
+def main() -> None:
+    # ----- the paper's Example 1 (Section IV-B) ----------------------------
+    # Data set {1,2,2,3,4,4,5,5,6,6,7,8,9,10,15}, sample {2,3,4,5,6,7,8,15},
+    # sketch0 = 6.2, p1*sigma = 1, p2*sigma = 3, alpha = 0.1.
+    sample = np.array([2, 3, 4, 5, 6, 7, 8, 15], dtype=float)
+    boundaries = DataBoundaries(ts_s=6.2 - 3, s_n=6.2 - 1, n_l=6.2 + 1, l_tl=6.2 + 3)
+    s_values, l_values = boundaries.split_sl(sample)
+    print("paper Example 1")
+    print(f"  S samples: {s_values.tolist()}   L samples: {l_values.tolist()}")
+
+    normalizer = LeverageNormalizer(s_values, l_values, q=1.0)
+    raw_s, raw_l = normalizer.raw()
+    fac_s, fac_l = normalizer.normalization_factors()
+    norm_s, norm_l = normalizer.normalized()
+    print(f"  raw leverages  S={np.round(raw_s, 4).tolist()} L={np.round(raw_l, 4).tolist()}")
+    print(f"  normalisation factors: fac_S={fac_s:.4f}  fac_L={fac_l:.4f}")
+    print(f"  normalised leverages S={np.round(norm_s, 4).tolist()} "
+          f"L={np.round(norm_l, 4).tolist()}  (sum={norm_s.sum() + norm_l.sum():.4f})")
+
+    estimate, prob_s, prob_l = leverage_based_average(s_values, l_values, alpha=0.1)
+    print(f"  probabilities S={np.round(prob_s, 4).tolist()} L={np.round(prob_l, 4).tolist()}")
+    print(f"  leverage-based answer at alpha=0.1: {estimate:.4f} "
+          f"(uniform answer {sample.mean():.4f}, accurate average 5.8)")
+
+    # ----- Theorem 3: the same computation from power sums only ------------
+    param_s = RegionMoments.from_values(s_values)
+    param_l = RegionMoments.from_values(l_values)
+    objective = ObjectiveFunction.from_moments(param_s, param_l, q=1.0)
+    print("\nTheorem 3 closed form")
+    print(f"  k = {objective.k:.4f}, c = {objective.c:.4f}")
+    print(f"  mu_hat(0.1) = {objective.l_estimator(0.1):.4f} "
+          f"(matches the explicit computation above)")
+
+    # ----- the iterative modulation on a realistic block -------------------
+    rng = np.random.default_rng(0)
+    block_sample = rng.normal(100.0, 20.0, size=20_000)
+    sketch0 = 100.9  # a deliberately biased sketch
+    config = ISLAConfig(precision=0.1)
+    block_boundaries = DataBoundaries.from_sketch(sketch0, 20.0, config.p1, config.p2)
+    s_vals, l_vals = block_boundaries.split_sl(block_sample)
+    param_s = RegionMoments.from_values(s_vals)
+    param_l = RegionMoments.from_values(l_vals)
+    objective = ObjectiveFunction.from_moments(param_s, param_l)
+    case = classify_case(objective.initial_value(sketch0), param_s.count, param_l.count,
+                         config.balance_tolerance, contradiction_band=config.moderate_band)
+    outcome = IterativeModulator(config, keep_trace=True).run(objective, sketch0, case=case)
+    print("\niterative modulation on a biased sketch (true mean 100, sketch0 100.9)")
+    print(f"  |S|={param_s.count}  |L|={param_l.count}  case={case.value}  "
+          f"D0={objective.initial_value(sketch0):+.4f}")
+    for record in outcome.trace[:6]:
+        print(f"  iter {record.iteration}: D={record.d_value:+.5f} "
+              f"alpha={record.alpha:+.5f} sketch={record.sketch:.4f} "
+              f"mu_hat={record.l_estimate:.4f}")
+    print(f"  converged after {outcome.iterations} iterations; "
+          f"final estimate {outcome.estimate:.4f}")
+
+
+if __name__ == "__main__":
+    main()

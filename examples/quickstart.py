@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: approximate AVG aggregation with ISLA in a few lines.
+
+The scenario mirrors the paper's default setup: a numeric column drawn from
+N(100, 20^2), partitioned into 10 blocks, queried with a desired precision of
+0.1 at 95% confidence.  The script compares the ISLA answer with the exact
+full-scan mean and with plain uniform sampling, and also shows the SQL-style
+front-end.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AQPEngine, BlockStore, ISLAAggregator, ISLAConfig
+from repro.sampling import UniformAggregator
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ data
+    rng = np.random.default_rng(7)
+    values = rng.normal(100.0, 20.0, size=1_000_000)
+    store = BlockStore.from_array("sensor_readings", values, block_count=10)
+    exact = store.exact_mean()
+    print(f"data: {store.total_rows} rows in {store.block_count} blocks, "
+          f"exact AVG = {exact:.4f}")
+
+    # ------------------------------------------------------- programmatic API
+    config = ISLAConfig(precision=0.1, confidence=0.95)
+    result = ISLAAggregator(config, seed=42).aggregate_avg(store)
+    print("\nISLA (programmatic API)")
+    print(f"  estimate        : {result.value:.4f}")
+    print(f"  absolute error  : {abs(result.value - exact):.4f}  "
+          f"(target precision {config.precision})")
+    print(f"  sampling rate   : {result.sampling_rate:.5f}")
+    print(f"  samples drawn   : {result.sample_size}")
+    print(f"  S/L samples used: {result.participating_samples}")
+    print(f"  sketch estimator: {result.sketch0:.4f}")
+    for block in result.block_results[:3]:
+        print(f"  block {block.block_id}: partial={block.estimate:.4f} "
+              f"case={block.case} iterations={block.iterations}")
+
+    # -------------------------------------------------------------- baseline
+    uniform = UniformAggregator(seed=42).aggregate(
+        store, precision=config.precision, confidence=config.confidence
+    )
+    print("\nUniform sampling baseline")
+    print(f"  estimate        : {uniform.value:.4f}")
+    print(f"  absolute error  : {abs(uniform.value - exact):.4f}")
+    print(f"  samples drawn   : {uniform.sample_size}")
+
+    # ------------------------------------------------------------- SQL front
+    engine = AQPEngine(seed=42)
+    engine.register_store(store)
+    statement = "SELECT AVG(value) FROM sensor_readings PRECISION 0.1 CONFIDENCE 0.95"
+    print("\nSQL front-end")
+    print(f"  {statement}")
+    print(f"  plan  : {engine.explain(statement)}")
+    answer = engine.execute(statement)
+    print(f"  answer: {answer.value:.4f} via {answer.method} "
+          f"({answer.sample_size} samples, {answer.elapsed_seconds * 1000:.1f} ms)")
+
+    # SUM comes for free from AVG.
+    total = engine.execute("SELECT SUM(value) FROM sensor_readings PRECISION 0.1")
+    print(f"  SUM estimate: {total.value:,.0f} (exact {store.exact_sum():,.0f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package (the
+legacy ``pip install -e . --no-use-pep517`` path needs a ``setup.py``).
+"""
+
+from setuptools import setup
+
+setup()

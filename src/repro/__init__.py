@@ -1,0 +1,33 @@
+"""repro — a reproduction of ISLA, the iterative leverage-based approximate
+aggregation scheme of Han et al. (ICDE 2019).
+
+The most common entry points are re-exported here::
+
+    from repro import ISLAAggregator, ISLAConfig, BlockStore, AQPEngine
+
+See README.md for a quickstart and DESIGN.md for the full system inventory.
+"""
+
+from repro.core.config import ISLAConfig
+from repro.core.isla import ISLAAggregator
+from repro.core.result import AggregateResult, BlockResult
+from repro.storage.blockstore import BlockStore
+from repro.storage.table import Table
+from repro.storage.catalog import Catalog
+from repro.query.engine import AQPEngine
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ISLAAggregator",
+    "ISLAConfig",
+    "AggregateResult",
+    "BlockResult",
+    "BlockStore",
+    "Table",
+    "Catalog",
+    "AQPEngine",
+    "ReproError",
+    "__version__",
+]

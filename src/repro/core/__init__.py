@@ -1,0 +1,62 @@
+"""Core ISLA algorithm (the paper's contribution).
+
+The public surface mirrors the paper's three modules:
+
+* **Pre-estimation** (:mod:`repro.core.pre_estimation`) — sampling rate from
+  Eq. 1 and the sketch estimator with a relaxed precision.
+* **Calculation** (:mod:`repro.core.calculation`) — per-block sampling
+  (Algorithm 1) and iterative modulation (Algorithm 2), built from the data
+  boundaries, leverage normalisation, the objective function of Theorem 3 and
+  the modulation strategies of Section V.
+* **Summarization** (:mod:`repro.core.summarization`) — size-weighted
+  combination of partial answers.
+
+:class:`~repro.core.isla.ISLAAggregator` wires the three together and is the
+entry point most users need.
+"""
+
+from repro.core.config import ISLAConfig
+from repro.core.boundaries import DataBoundaries, Region
+from repro.core.accumulators import RegionMoments
+from repro.core.leverage import LeverageNormalizer, allocate_q, theoretical_leverage_sums
+from repro.core.probability import reweighted_probabilities
+from repro.core.objective import ObjectiveFunction, leverage_coefficients
+from repro.core.modulation import (
+    IterativeModulator,
+    ModulationCase,
+    ModulationOutcome,
+    classify_case,
+    plan_step,
+)
+from repro.core.pre_estimation import PreEstimate, PreEstimator
+from repro.core.calculation import BlockCalculator, sampling_phase, iteration_phase
+from repro.core.summarization import combine_block_results
+from repro.core.result import AggregateResult, BlockResult
+from repro.core.isla import ISLAAggregator
+
+__all__ = [
+    "ISLAConfig",
+    "DataBoundaries",
+    "Region",
+    "RegionMoments",
+    "LeverageNormalizer",
+    "allocate_q",
+    "theoretical_leverage_sums",
+    "reweighted_probabilities",
+    "ObjectiveFunction",
+    "leverage_coefficients",
+    "IterativeModulator",
+    "ModulationCase",
+    "ModulationOutcome",
+    "classify_case",
+    "plan_step",
+    "PreEstimate",
+    "PreEstimator",
+    "BlockCalculator",
+    "sampling_phase",
+    "iteration_phase",
+    "combine_block_results",
+    "AggregateResult",
+    "BlockResult",
+    "ISLAAggregator",
+]

@@ -1,0 +1,88 @@
+"""Region moment accumulators (the paper's ``paramS`` / ``paramL``).
+
+Algorithm 1 keeps, per region, only ``{counter, sum, squareSum, cubeSum}``;
+these four numbers are everything Theorem 3 needs to build the objective
+function, which is why ISLA never stores samples and is insensitive to the
+sampling order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+__all__ = ["RegionMoments"]
+
+
+@dataclass
+class RegionMoments:
+    """Counter, sum, square sum and cube sum of the samples in one region."""
+
+    count: int = 0
+    total: float = 0.0
+    square_sum: float = 0.0
+    cube_sum: float = 0.0
+
+    # --------------------------------------------------------------- updates
+    def update(self, value: float) -> None:
+        """Fold one sample into the accumulator (Algorithm 1, updateParams)."""
+        self.count += 1
+        self.total += value
+        self.square_sum += value * value
+        self.cube_sum += value * value * value
+
+    def update_many(self, values: Iterable[float]) -> None:
+        """Fold a batch of samples (vectorised, same result as repeated update)."""
+        array = np.asarray(values, dtype=float)
+        if array.size == 0:
+            return
+        self.count += int(array.size)
+        self.total += float(array.sum())
+        self.square_sum += float((array ** 2).sum())
+        self.cube_sum += float((array ** 3).sum())
+
+    def merge(self, other: "RegionMoments") -> None:
+        """Merge another accumulator (used by online and distributed modes)."""
+        self.count += other.count
+        self.total += other.total
+        self.square_sum += other.square_sum
+        self.cube_sum += other.cube_sum
+
+    # ------------------------------------------------------------- read-outs
+    @property
+    def mean(self) -> float:
+        """Mean of the region samples (raises on an empty region)."""
+        if self.count == 0:
+            raise EstimationError("region is empty; mean is undefined")
+        return self.total / self.count
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no sample fell in this region."""
+        return self.count == 0
+
+    def copy(self) -> "RegionMoments":
+        """Return an independent copy."""
+        return RegionMoments(
+            count=self.count,
+            total=self.total,
+            square_sum=self.square_sum,
+            cube_sum=self.cube_sum,
+        )
+
+    # ---------------------------------------------------------- construction
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "RegionMoments":
+        """Build an accumulator directly from a batch of region samples."""
+        moments = cls()
+        moments.update_many(values)
+        return moments
+
+    def __add__(self, other: "RegionMoments") -> "RegionMoments":
+        merged = self.copy()
+        merged.merge(other)
+        return merged

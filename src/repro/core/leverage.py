@@ -1,0 +1,151 @@
+"""Leverage scores, the allocating parameter ``q`` and leverage normalisation.
+
+Section IV-A of the paper:
+
+* every S/L sample gets a *raw* leverage from its deviation factor
+  ``h_i = a_i^2 / sum(a_j^2)`` — S samples use ``1 - h_i`` (closer to the
+  middle axis from below gets *less* weight), L samples use ``h_i``;
+* Constraint 1: leverages sum to 1 overall;
+* Constraint 2: the per-region leverage mass is proportional to the region's
+  sample count, tempered by the allocating parameter ``q`` when the sketch
+  deviates (``levSum_S / levSum_L = q * u / v``);
+* each raw leverage is divided by its region's normalisation factor ``fac``
+  so the two constraints hold.
+
+The normalised leverages are what Eq. 2 mixes with the uniform probability.
+The :class:`LeverageNormalizer` works on explicit sample arrays and exists
+mainly for validation and for the worked examples; the production path goes
+through the closed-form coefficients of :mod:`repro.core.objective`, which
+must (and, by the property tests, does) agree with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.config import ISLAConfig
+from repro.errors import EstimationError
+
+__all__ = [
+    "allocate_q",
+    "deviation_degree",
+    "theoretical_leverage_sums",
+    "raw_leverages",
+    "LeverageNormalizer",
+]
+
+
+def deviation_degree(count_s: int, count_l: int) -> float:
+    """The deviation degree ``dev = |S| / |L|`` (paper Section IV-A4)."""
+    if count_l <= 0:
+        raise EstimationError("deviation degree undefined: the L region is empty")
+    return count_s / count_l
+
+
+def allocate_q(count_s: int, count_l: int, config: ISLAConfig) -> float:
+    """The leverage allocating parameter ``q`` for the observed |S|, |L|.
+
+    Following Section IV-A4 and the experiment defaults of Section VIII:
+
+    * ``dev`` within ``1 +- mild_band``            -> q' = 1 (no correction)
+    * ``dev`` within ``1 +- moderate_band``        -> q' = q_moderate (5)
+    * ``dev`` outside the moderate band            -> q' = q_severe (10)
+
+    and the correction shrinks the side with *more* samples:
+    ``q = 1/q'`` when |S| > |L|, else ``q = q'``.
+    """
+    dev = deviation_degree(count_s, count_l)
+    distance = abs(dev - 1.0)
+    if distance <= config.mild_band:
+        q_prime = 1.0
+    elif distance <= config.moderate_band:
+        q_prime = config.q_moderate
+    else:
+        q_prime = config.q_severe
+    if q_prime == 1.0:
+        return 1.0
+    return 1.0 / q_prime if count_s > count_l else q_prime
+
+
+def theoretical_leverage_sums(count_s: int, count_l: int, q: float) -> Tuple[float, float]:
+    """Target leverage mass of the S and L regions under Constraints 1 and 2.
+
+    ``levSum_S / levSum_L = q * u / v`` and ``levSum_S + levSum_L = 1`` give
+    ``levSum_S = q*u / (q*u + v)`` and ``levSum_L = v / (q*u + v)``.
+    """
+    if count_s <= 0 or count_l <= 0:
+        raise EstimationError("both regions must be non-empty to allocate leverages")
+    if q <= 0:
+        raise EstimationError(f"q must be positive, got {q}")
+    denom = q * count_s + count_l
+    return q * count_s / denom, count_l / denom
+
+
+def raw_leverages(s_values: np.ndarray, l_values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Raw (un-normalised) leverages of the S and L samples.
+
+    With ``T = sum(x^2) + sum(y^2)``: S sample ``x`` gets ``1 - x^2/T``,
+    L sample ``y`` gets ``y^2/T`` (Appendix A, step 1).
+    """
+    s_array = np.asarray(s_values, dtype=float)
+    l_array = np.asarray(l_values, dtype=float)
+    total_square = float((s_array ** 2).sum() + (l_array ** 2).sum())
+    if total_square <= 0.0:
+        raise EstimationError("cannot compute leverages: all sample values are zero")
+    return 1.0 - s_array ** 2 / total_square, l_array ** 2 / total_square
+
+
+@dataclass(frozen=True)
+class LeverageNormalizer:
+    """Explicit-sample leverage normalisation (Appendix A, steps 1–3)."""
+
+    s_values: np.ndarray
+    l_values: np.ndarray
+    q: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "s_values", np.asarray(self.s_values, dtype=float))
+        object.__setattr__(self, "l_values", np.asarray(self.l_values, dtype=float))
+        if self.s_values.size == 0 or self.l_values.size == 0:
+            raise EstimationError("both S and L must contain at least one sample")
+        if self.q <= 0:
+            raise EstimationError(f"q must be positive, got {self.q}")
+
+    # ------------------------------------------------------------ step 1 & 2
+    @property
+    def total_square(self) -> float:
+        """``T = sum(x^2) + sum(y^2)``."""
+        return float((self.s_values ** 2).sum() + (self.l_values ** 2).sum())
+
+    def raw(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw leverages of the S and L samples."""
+        return raw_leverages(self.s_values, self.l_values)
+
+    def normalization_factors(self) -> Tuple[float, float]:
+        """The factors ``fac_x`` and ``fac_y`` of Appendix A, step 2.
+
+        Each factor is the region's raw leverage mass divided by its
+        theoretical (target) mass.
+        """
+        raw_s, raw_l = self.raw()
+        target_s, target_l = theoretical_leverage_sums(
+            int(self.s_values.size), int(self.l_values.size), self.q
+        )
+        return float(raw_s.sum()) / target_s, float(raw_l.sum()) / target_l
+
+    # ---------------------------------------------------------------- step 3
+    def normalized(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Normalised leverages (their grand total is exactly 1)."""
+        raw_s, raw_l = self.raw()
+        fac_s, fac_l = self.normalization_factors()
+        if fac_s == 0.0 or fac_l == 0.0:
+            raise EstimationError("degenerate leverage normalisation factor of zero")
+        return raw_s / fac_s, raw_l / fac_l
+
+    def leverage_sums(self) -> Tuple[float, float]:
+        """Normalised leverage mass per region (should equal the targets)."""
+        norm_s, norm_l = self.normalized()
+        return float(norm_s.sum()), float(norm_l.sum())

@@ -1,0 +1,103 @@
+"""The objective function ``D = kα + c − sketch`` (paper Theorem 3).
+
+Theorem 3 shows that the l-estimator is an affine function of the leverage
+degree, ``µ̂ = f(α) = kα + c``, whose coefficients depend only on the region
+moments (count, sum, square sum, cube sum of the S and L samples) and the
+allocating parameter ``q``:
+
+* ``c = (Σx + Σy) / (u + v)`` — the plain mean of the participating samples
+  (the value of the l-estimator at α = 0);
+* ``k = (T·Σx − Σx³) / ((1 + v/(q·u)) · (u·T − Σx²))
+       + v·Σy³ / ((q·u + v) · Σy²) − c``  with ``T = Σx² + Σy²``.
+
+Note: the paper's appendix prints ``c = (u+v)/(Σx+Σy)``; the main-text
+statement of Theorem 3 (and dimensional analysis) give the reciprocal used
+here.  The property tests confirm the closed form matches the explicit
+per-sample computation of Appendix A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.accumulators import RegionMoments
+from repro.errors import EstimationError
+
+__all__ = ["leverage_coefficients", "ObjectiveFunction"]
+
+
+def leverage_coefficients(
+    param_s: RegionMoments, param_l: RegionMoments, q: float = 1.0
+) -> Tuple[float, float]:
+    """Compute ``(k, c)`` of Theorem 3 from the region moments.
+
+    Raises
+    ------
+    EstimationError
+        If either region is empty, ``q`` is not positive, or a denominator
+        degenerates (all participating values equal to zero).
+    """
+    if param_s.is_empty or param_l.is_empty:
+        raise EstimationError(
+            "Theorem 3 requires at least one S and one L sample "
+            f"(got |S|={param_s.count}, |L|={param_l.count})"
+        )
+    if q <= 0.0:
+        raise EstimationError(f"q must be positive, got {q}")
+
+    u = float(param_s.count)
+    v = float(param_l.count)
+    sum_x, sq_x, cube_x = param_s.total, param_s.square_sum, param_s.cube_sum
+    sum_y, sq_y, cube_y = param_l.total, param_l.square_sum, param_l.cube_sum
+    total_square = sq_x + sq_y
+
+    if total_square <= 0.0:
+        raise EstimationError("all participating sample values are zero")
+    if sq_y <= 0.0:
+        raise EstimationError("the L region has zero square sum")
+
+    c = (sum_x + sum_y) / (u + v)
+
+    s_denominator = (1.0 + v / (q * u)) * (u * total_square - sq_x)
+    if s_denominator == 0.0:
+        raise EstimationError("degenerate S-term denominator in Theorem 3")
+    s_term = (total_square * sum_x - cube_x) / s_denominator
+    l_term = v * cube_y / ((q * u + v) * sq_y)
+
+    k = s_term + l_term - c
+    return k, c
+
+
+@dataclass(frozen=True)
+class ObjectiveFunction:
+    """``D(α, sketch) = kα + c − sketch`` with convenience evaluators."""
+
+    k: float
+    c: float
+
+    @classmethod
+    def from_moments(
+        cls, param_s: RegionMoments, param_l: RegionMoments, q: float = 1.0
+    ) -> "ObjectiveFunction":
+        """Build the objective from region moments via Theorem 3."""
+        k, c = leverage_coefficients(param_s, param_l, q)
+        return cls(k=k, c=c)
+
+    def l_estimator(self, alpha: float) -> float:
+        """Value of the leverage-based estimator ``µ̂ = kα + c``."""
+        return self.k * alpha + self.c
+
+    def value(self, alpha: float, sketch: float) -> float:
+        """Objective value ``D = µ̂ − sketch``."""
+        return self.l_estimator(alpha) - sketch
+
+    def initial_value(self, sketch0: float) -> float:
+        """``D0 = c − sketch0`` (α starts at zero)."""
+        return self.c - sketch0
+
+    def alpha_for_target(self, target: float) -> float:
+        """Solve ``kα + c = target`` for α (raises when k is ~0)."""
+        if abs(self.k) < 1e-15:
+            raise EstimationError("k is zero; the l-estimator cannot be modulated")
+        return (target - self.c) / self.k

@@ -1,0 +1,116 @@
+"""The Pre-estimation module (paper Section III).
+
+Before any block does real work, the system needs two global quantities:
+
+* the sampling rate ``r`` that satisfies the user's precision/confidence
+  target (Eq. 1), which requires a rough estimate of the population standard
+  deviation ``sigma``; and
+* the sketch estimator ``sketch0`` — a cheap overall picture of the answer
+  computed with the *relaxed* precision ``te * e`` — which later defines the
+  data boundaries and acts as one of the two estimators in the iteration.
+
+Both are computed from small uniform pilot samples drawn proportionally to
+block sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ISLAConfig
+from repro.errors import EstimationError
+from repro.stats.confidence import required_sample_size, required_sampling_rate
+from repro.storage.blockstore import BlockStore
+
+__all__ = ["PreEstimate", "PreEstimator"]
+
+
+@dataclass(frozen=True)
+class PreEstimate:
+    """Everything the Calculation module needs from pre-estimation."""
+
+    #: estimated population standard deviation (from the pilot sample)
+    sigma: float
+    #: the initial sketch estimator value
+    sketch0: float
+    #: sampling rate ``r`` each block should use
+    sampling_rate: float
+    #: sample size that backed the sketch estimator
+    sketch_sample_size: int
+    #: pilot sample size used for the sigma estimate
+    pilot_sample_size: int
+    #: total data size ``M``
+    data_size: int
+    #: the relaxed precision ``te * e`` behind sketch0's confidence interval
+    relaxed_precision: float
+
+    @property
+    def required_sample_size(self) -> int:
+        """The total sample size ``m = r * M`` the calculation phase will draw."""
+        return max(1, int(round(self.sampling_rate * self.data_size)))
+
+
+class PreEstimator:
+    """Computes :class:`PreEstimate` from a block store."""
+
+    def __init__(self, config: Optional[ISLAConfig] = None) -> None:
+        self.config = config or ISLAConfig()
+
+    def estimate(
+        self,
+        store: BlockStore,
+        column: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> PreEstimate:
+        """Run pre-estimation over ``store``.
+
+        Raises
+        ------
+        EstimationError
+            If the store is empty or the pilot sample degenerates.
+        """
+        config = self.config
+        column = store.validate_column(column)
+        generator = rng if rng is not None else np.random.default_rng(config.seed)
+        data_size = store.total_rows
+        if data_size <= 0:
+            raise EstimationError("cannot pre-estimate an empty store")
+
+        # --- sigma from a small pilot sample -------------------------------
+        pilot_size = min(config.pilot_sample_size, data_size)
+        pilot = store.pilot_sample(column, pilot_size, generator)
+        sigma = float(pilot.std())
+
+        # --- sampling rate for the main computation (Eq. 1) ----------------
+        if sigma == 0.0:
+            # Degenerate column (a constant): one sample per block suffices.
+            sampling_rate = min(1.0, store.block_count / data_size)
+        else:
+            sampling_rate = required_sampling_rate(
+                sigma, config.precision, config.confidence, data_size
+            )
+
+        # --- sketch estimator with the relaxed precision -------------------
+        relaxed_precision = config.relaxed_precision
+        if sigma == 0.0:
+            sketch_sample_size = min(data_size, max(store.block_count, 1))
+        else:
+            sketch_sample_size = min(
+                data_size,
+                required_sample_size(sigma, relaxed_precision, config.confidence),
+            )
+        sketch_sample = store.pilot_sample(column, max(1, sketch_sample_size), generator)
+        sketch0 = float(sketch_sample.mean())
+
+        return PreEstimate(
+            sigma=sigma,
+            sketch0=sketch0,
+            sampling_rate=sampling_rate,
+            sketch_sample_size=int(sketch_sample.size),
+            pilot_sample_size=int(pilot.size),
+            data_size=data_size,
+            relaxed_precision=relaxed_precision,
+        )

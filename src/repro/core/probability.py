@@ -1,0 +1,66 @@
+"""Re-weighted probability generation (paper Eq. 2).
+
+Each sample's probability mixes its normalised leverage with the uniform
+probability: ``prob_i = alpha * lev_i + (1 - alpha) / m`` where ``m`` is the
+number of participating samples and ``alpha`` in (0, 1) is the leverage
+degree.  Because the normalised leverages sum to one (Constraint 1), the
+probabilities always sum to one as well, for every alpha.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.leverage import LeverageNormalizer
+from repro.errors import EstimationError
+
+__all__ = ["reweighted_probabilities", "leverage_based_average"]
+
+
+def reweighted_probabilities(
+    leverages: np.ndarray, alpha: float
+) -> np.ndarray:
+    """Mix normalised leverages with the uniform distribution (Eq. 2).
+
+    Parameters
+    ----------
+    leverages:
+        Normalised leverages of the participating samples (must sum to ~1).
+    alpha:
+        Leverage degree.  The paper restricts alpha to (0, 1) for the static
+        formula; the iterative scheme may drive alpha slightly negative in
+        the unbalanced-sampling cases (Case 4), which this function allows.
+    """
+    lev = np.asarray(leverages, dtype=float)
+    if lev.size == 0:
+        raise EstimationError("cannot build probabilities from zero samples")
+    uniform = 1.0 / lev.size
+    return alpha * lev + (1.0 - alpha) * uniform
+
+
+def leverage_based_average(
+    s_values: np.ndarray,
+    l_values: np.ndarray,
+    alpha: float,
+    q: float = 1.0,
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Explicit-sample l-estimator: ``sum(prob_i * a_i)`` over the S/L samples.
+
+    Returns the estimate together with the per-region probability vectors.
+    This is the direct transcription of Appendix A (steps 1–5) and is used by
+    examples and by the property tests that confirm it matches the
+    closed-form ``k * alpha + c`` of Theorem 3.
+    """
+    normalizer = LeverageNormalizer(s_values, l_values, q=q)
+    norm_s, norm_l = normalizer.normalized()
+    combined = np.concatenate([norm_s, norm_l])
+    probabilities = reweighted_probabilities(combined, alpha)
+    prob_s = probabilities[: norm_s.size]
+    prob_l = probabilities[norm_s.size :]
+    estimate = float(
+        (prob_s * np.asarray(s_values, dtype=float)).sum()
+        + (prob_l * np.asarray(l_values, dtype=float)).sum()
+    )
+    return estimate, prob_s, prob_l

@@ -1,0 +1,113 @@
+"""Result objects returned by the ISLA aggregator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.stats.confidence import ConfidenceInterval
+
+__all__ = ["BlockResult", "AggregateResult"]
+
+
+@dataclass(frozen=True)
+class BlockResult:
+    """Partial answer and diagnostics of one block (Calculation module output)."""
+
+    block_id: int
+    estimate: float
+    block_size: int
+    sample_size: int
+    count_s: int
+    count_l: int
+    case: str
+    iterations: int
+    alpha: float
+    q: float
+    deviation: float
+    converged: bool
+    used_fallback: bool
+    fallback_reason: Optional[str] = None
+
+    @property
+    def participating_samples(self) -> int:
+        """Number of samples that actually entered the computation (S + L)."""
+        return self.count_s + self.count_l
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """The final answer of an ISLA aggregation."""
+
+    value: float
+    aggregate: str
+    column: str
+    table: str
+    precision: float
+    confidence: float
+    interval: ConfidenceInterval
+    sampling_rate: float
+    sample_size: int
+    sketch0: float
+    sigma_estimate: float
+    data_size: int
+    block_results: Tuple[BlockResult, ...] = field(default_factory=tuple)
+    method: str = "ISLA"
+    elapsed_seconds: float = 0.0
+    translation_offset: float = 0.0
+
+    # ----------------------------------------------------------- evaluation
+    def error_against(self, truth: float) -> float:
+        """Absolute error against a known ground truth."""
+        return abs(self.value - truth)
+
+    def relative_error_against(self, truth: float) -> float:
+        """Relative error against a known ground truth."""
+        if truth == 0.0:
+            return float("inf") if self.value != 0.0 else 0.0
+        return abs(self.value - truth) / abs(truth)
+
+    def satisfies_precision(self, truth: float) -> bool:
+        """True when the answer is within ``precision`` of the ground truth."""
+        return self.error_against(truth) <= self.precision
+
+    # ------------------------------------------------------------ reporting
+    @property
+    def participating_samples(self) -> int:
+        """Total S+L samples across blocks (what the computation actually used)."""
+        return sum(block.participating_samples for block in self.block_results)
+
+    @property
+    def fallback_blocks(self) -> int:
+        """How many blocks returned sketch0 instead of iterating."""
+        return sum(1 for block in self.block_results if block.used_fallback)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A flat dictionary used by the experiment harness and examples."""
+        return {
+            "value": self.value,
+            "aggregate": self.aggregate,
+            "method": self.method,
+            "table": self.table,
+            "column": self.column,
+            "precision": self.precision,
+            "confidence": self.confidence,
+            "interval_low": self.interval.low,
+            "interval_high": self.interval.high,
+            "sampling_rate": self.sampling_rate,
+            "sample_size": self.sample_size,
+            "participating_samples": self.participating_samples,
+            "sketch0": self.sketch0,
+            "sigma_estimate": self.sigma_estimate,
+            "data_size": self.data_size,
+            "blocks": len(self.block_results),
+            "fallback_blocks": self.fallback_blocks,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.aggregate.upper()}({self.column}) ~= {self.value:.6g} "
+            f"(+-{self.precision:g} at {self.confidence:.0%}, "
+            f"{self.sample_size} samples over {len(self.block_results)} blocks)"
+        )

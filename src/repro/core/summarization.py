@@ -1,0 +1,37 @@
+"""The Summarization module (paper Section II-C).
+
+Blocks produce partial AVG answers; the final answer weights each partial
+answer by its block's share of the data:
+
+    avg = sum_j avg_j * |B_j| / M
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.result import BlockResult
+from repro.errors import EstimationError
+
+__all__ = ["combine_block_results", "combine_partial_means"]
+
+
+def combine_partial_means(estimates: Sequence[float], sizes: Sequence[int]) -> float:
+    """Size-weighted combination of per-block means."""
+    if not estimates:
+        raise EstimationError("no partial answers to combine")
+    if len(estimates) != len(sizes):
+        raise EstimationError("estimates and sizes must have equal length")
+    total = float(sum(sizes))
+    if total <= 0:
+        raise EstimationError("total data size must be positive")
+    return float(sum(est * size for est, size in zip(estimates, sizes)) / total)
+
+
+def combine_block_results(block_results: Sequence[BlockResult]) -> float:
+    """Combine :class:`BlockResult` partial answers into the final AVG."""
+    if not block_results:
+        raise EstimationError("no block results to combine")
+    estimates = [block.estimate for block in block_results]
+    sizes = [block.block_size for block in block_results]
+    return combine_partial_means(estimates, sizes)

@@ -1,0 +1,59 @@
+"""Exception hierarchy shared by every subpackage.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Subsystems raise the most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of its documented domain."""
+
+
+class StorageError(ReproError):
+    """A block store / table operation could not be completed."""
+
+
+class UnknownTableError(StorageError):
+    """A query referenced a table that is not registered in the catalog."""
+
+
+class UnknownColumnError(StorageError):
+    """A query referenced a column missing from the target table."""
+
+
+class EmptyDataError(StorageError):
+    """An aggregation was requested over zero rows."""
+
+
+class SamplingError(ReproError):
+    """A sampler received parameters it cannot honour."""
+
+
+class EstimationError(ReproError):
+    """An estimator could not produce a finite answer."""
+
+
+class ConvergenceError(EstimationError):
+    """The iterative modulation failed to converge within the iteration cap."""
+
+
+class QueryError(ReproError):
+    """The query front-end could not parse or plan a statement."""
+
+
+class QuerySyntaxError(QueryError):
+    """The statement text is not valid ISLA-SQL."""
+
+
+class QueryPlanError(QueryError):
+    """The statement parsed but cannot be planned (unknown method, etc.)."""
+
+
+class TimeBudgetExceeded(ReproError):
+    """A time-constrained execution could not finish within its budget."""

@@ -1,0 +1,135 @@
+"""Ablation studies of ISLA's own design choices (not in the paper).
+
+Two ablations are reported alongside the paper's experiments:
+
+* **A1 — fixed alpha vs iterated alpha.**  The paper motivates the iteration
+  by arguing that any fixed leverage degree loses accuracy.  This ablation
+  evaluates the static leverage-based estimator µ̂ = kα + c at several fixed
+  α values against the full iterative scheme.
+* **A2 — the leverage allocating parameter q.**  The deviation-driven q is
+  ISLA's guard against a biased sketch; the ablation feeds the pipeline a
+  deliberately biased sketch0 and compares estimates with q enabled and
+  disabled (q forced to 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.accumulators import RegionMoments
+from repro.core.boundaries import DataBoundaries
+from repro.core.calculation import iteration_phase, sampling_phase
+from repro.core.config import ISLAConfig
+from repro.core.isla import ISLAAggregator
+from repro.core.leverage import allocate_q
+from repro.core.objective import ObjectiveFunction
+from repro.core.summarization import combine_partial_means
+from repro.experiments.harness import DEFAULT_BLOCKS, DEFAULT_DATA_SIZE, ExperimentResult
+from repro.workloads.synthetic import NormalWorkload
+
+__all__ = ["run_alpha_ablation", "run_q_ablation"]
+
+
+def run_alpha_ablation(
+    alphas: Sequence[float] = (0.0, 0.1, 0.3, 0.5),
+    data_size: int = DEFAULT_DATA_SIZE,
+    block_count: int = DEFAULT_BLOCKS,
+    datasets: int = 5,
+    precision: float = 0.1,
+    seed: int = 0,
+) -> ExperimentResult:
+    """A1 — static leverage degrees vs the full iterative scheme."""
+    result = ExperimentResult(
+        experiment_id="A1",
+        title="Ablation A1: fixed leverage degree alpha vs iterated alpha; true mean = 100",
+        columns=[f"alpha={a:g}" for a in alphas] + ["ISLA_iterative"],
+    )
+    config = ISLAConfig(precision=precision)
+    for index in range(datasets):
+        workload = NormalWorkload(data_size, mean=100.0, std=20.0, seed=seed + index)
+        store = workload.generate_store(f"normal{index}", block_count=block_count)
+        rng = np.random.default_rng(seed + 40 + index)
+
+        # Shared pre-estimation so the static and iterative variants see the
+        # same boundaries and sampling rate.
+        from repro.core.pre_estimation import PreEstimator
+
+        pre = PreEstimator(config).estimate(store, None, rng)
+        boundaries = DataBoundaries.from_sketch(
+            pre.sketch0, pre.sigma, p1=config.p1, p2=config.p2
+        )
+
+        static_answers = {f"alpha={a:g}": [] for a in alphas}
+        sizes = []
+        for block in store.blocks:
+            param_s, param_l, _ = sampling_phase(
+                block, store.default_column, pre.sampling_rate, boundaries, rng
+            )
+            sizes.append(block.size)
+            if param_s.is_empty or param_l.is_empty:
+                for alpha in alphas:
+                    static_answers[f"alpha={alpha:g}"].append(pre.sketch0)
+                continue
+            q = allocate_q(param_s.count, param_l.count, config)
+            objective = ObjectiveFunction.from_moments(param_s, param_l, q)
+            for alpha in alphas:
+                static_answers[f"alpha={alpha:g}"].append(objective.l_estimator(alpha))
+
+        values = {
+            key: combine_partial_means(estimates, sizes)
+            for key, estimates in static_answers.items()
+        }
+        values["ISLA_iterative"] = ISLAAggregator(config, seed=seed + 40 + index).aggregate_avg(
+            store
+        ).value
+        result.add_row(f"dataset {index + 1}", **values)
+    return result
+
+
+def run_q_ablation(
+    sketch_biases: Sequence[float] = (-1.0, -0.5, 0.5, 1.0),
+    data_size: int = DEFAULT_DATA_SIZE,
+    block_count: int = DEFAULT_BLOCKS,
+    precision: float = 0.1,
+    seed: int = 0,
+) -> ExperimentResult:
+    """A2 — behaviour under a deliberately biased sketch0, with and without q."""
+    result = ExperimentResult(
+        experiment_id="A2",
+        title="Ablation A2: deliberately biased sketch0, q enabled vs q forced to 1; "
+              "true mean = 100",
+        columns=["with_q", "without_q", "with_q_error", "without_q_error"],
+        notes="q re-balances the leverage mass between S and L when the sketch deviates",
+    )
+    config = ISLAConfig(precision=precision)
+    workload = NormalWorkload(data_size, mean=100.0, std=20.0, seed=seed)
+    store = workload.generate_store("normal", block_count=block_count)
+    sigma = 20.0
+
+    for bias in sketch_biases:
+        sketch0 = 100.0 + bias
+        boundaries = DataBoundaries.from_sketch(sketch0, sigma, p1=config.p1, p2=config.p2)
+        estimates_q, estimates_noq, sizes = [], [], []
+        rng = np.random.default_rng(seed + 11)
+        for block in store.blocks:
+            param_s, param_l, _ = sampling_phase(
+                block, store.default_column, 0.05, boundaries, rng
+            )
+            sizes.append(block.size)
+            with_q = iteration_phase(param_s, param_l, sketch0, config)
+            no_q_config = config.with_updates(q_moderate=1.0, q_severe=1.0)
+            without_q = iteration_phase(param_s, param_l, sketch0, no_q_config)
+            estimates_q.append(with_q.estimate)
+            estimates_noq.append(without_q.estimate)
+        with_q_value = combine_partial_means(estimates_q, sizes)
+        without_q_value = combine_partial_means(estimates_noq, sizes)
+        result.add_row(
+            f"sketch bias {bias:+g}",
+            with_q=with_q_value,
+            without_q=without_q_value,
+            with_q_error=abs(with_q_value - 100.0),
+            without_q_error=abs(without_q_value - 100.0),
+        )
+    return result

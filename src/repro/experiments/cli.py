@@ -1,0 +1,91 @@
+"""Command-line entry point: ``python -m repro.experiments`` / ``isla-experiments``.
+
+Examples
+--------
+List the available experiments::
+
+    python -m repro.experiments --list
+
+Run one experiment (paper-style table printed to stdout)::
+
+    python -m repro.experiments table3
+
+Run everything at a reduced scale::
+
+    python -m repro.experiments all --data-size 100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = ["main", "build_parser"]
+
+#: experiments whose runners accept a ``data_size`` keyword
+_SIZE_AWARE = {
+    "fig6a", "fig6b", "fig6c", "fig6d",
+    "table3", "table4", "table5", "table6", "table7",
+    "ablation-alpha", "ablation-q",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="isla-experiments",
+        description="Reproduce the tables and figures of the ISLA paper (ICDE 2019).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment identifiers to run (or 'all'); use --list to see them",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument(
+        "--data-size", type=int, default=None,
+        help="override the per-data-set row count for the size-aware experiments",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base random seed (default 0)"
+    )
+    return parser
+
+
+def _run_one(identifier: str, data_size: Optional[int], seed: int) -> str:
+    runner = get_experiment(identifier)
+    kwargs = {"seed": seed}
+    if data_size is not None and identifier in _SIZE_AWARE:
+        kwargs["data_size"] = data_size
+    started = time.perf_counter()
+    result = runner(**kwargs)
+    elapsed = time.perf_counter() - started
+    return f"{result.to_text()}\n(ran in {elapsed:.2f}s)\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("Available experiments:")
+        for identifier, description in list_experiments().items():
+            print(f"  {identifier:16s} {description}")
+        return 0
+
+    identifiers = list(args.experiments)
+    if len(identifiers) == 1 and identifiers[0].lower() == "all":
+        identifiers = list(EXPERIMENTS)
+
+    for identifier in identifiers:
+        print(_run_one(identifier, args.data_size, args.seed))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""Parameter-impact experiments: Section VIII-A and Fig. 6(a)–(d)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import ISLAConfig
+from repro.core.isla import ISLAAggregator
+from repro.experiments.harness import (
+    DEFAULT_BLOCKS,
+    DEFAULT_DATA_SIZE,
+    ExperimentResult,
+)
+from repro.workloads.synthetic import NormalWorkload
+
+__all__ = [
+    "run_varying_data_size",
+    "run_fig6a_precision",
+    "run_fig6b_confidence",
+    "run_fig6c_blocks",
+    "run_fig6d_boundaries",
+]
+
+#: the paper's default synthetic population
+_PAPER_MEAN = 100.0
+_PAPER_STD = 20.0
+
+
+def _paper_store(size: int, block_count: int, seed: int, name: str = "normal"):
+    workload = NormalWorkload(size, mean=_PAPER_MEAN, std=_PAPER_STD, seed=seed)
+    return workload.generate_store(name, block_count=block_count)
+
+
+def run_varying_data_size(
+    sizes: Sequence[int] = (100_000, 300_000, 1_000_000, 3_000_000),
+    block_count: int = DEFAULT_BLOCKS,
+    precision: float = 0.1,
+    seed: int = 0,
+) -> ExperimentResult:
+    """E1 — Section VIII-A "Varying Data Size" at laptop scale.
+
+    The paper runs 10^8 … 10^12 rows and observes that the answers are
+    essentially unaffected by the data size (the sample size of Eq. 1 depends
+    only on sigma, e and beta).  The same claim is checked here on smaller
+    sizes.
+    """
+    result = ExperimentResult(
+        experiment_id="E1",
+        title="Varying data size (paper Section VIII-A); true mean = 100",
+        columns=["rows", "estimate", "abs_error", "sampling_rate", "sample_size"],
+        notes="paper sizes were 1e8..1e12; answer quality is size-independent",
+    )
+    config = ISLAConfig(precision=precision)
+    for index, size in enumerate(sizes):
+        store = _paper_store(size, block_count, seed=seed + index)
+        answer = ISLAAggregator(config, seed=1000 + index).aggregate_avg(store)
+        result.add_row(
+            f"M={size}",
+            rows=float(size),
+            estimate=answer.value,
+            abs_error=abs(answer.value - _PAPER_MEAN),
+            sampling_rate=answer.sampling_rate,
+            sample_size=float(answer.sample_size),
+        )
+    return result
+
+
+def run_fig6a_precision(
+    precisions: Sequence[float] = (0.025, 0.05, 0.075, 0.1, 0.125, 0.15, 0.175, 0.2),
+    data_size: int = DEFAULT_DATA_SIZE,
+    block_count: int = DEFAULT_BLOCKS,
+    datasets: int = 5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 6(a) — estimates diverge as the desired precision e is relaxed."""
+    result = ExperimentResult(
+        experiment_id="fig6a",
+        title="Fig. 6(a): varying desired precision e; true mean = 100",
+        columns=[f"dataset{i + 1}" for i in range(datasets)] + ["spread"],
+    )
+    stores = [
+        _paper_store(data_size, block_count, seed=seed + i, name=f"normal{i}")
+        for i in range(datasets)
+    ]
+    for precision in precisions:
+        config = ISLAConfig(precision=precision)
+        answers = [
+            ISLAAggregator(config, seed=seed + 100 + i).aggregate_avg(store).value
+            for i, store in enumerate(stores)
+        ]
+        values = {f"dataset{i + 1}": answer for i, answer in enumerate(answers)}
+        values["spread"] = max(answers) - min(answers)
+        result.add_row(f"e={precision:g}", **values)
+    return result
+
+
+def run_fig6b_confidence(
+    confidences: Sequence[float] = (0.8, 0.9, 0.95, 0.98, 0.99),
+    data_size: int = DEFAULT_DATA_SIZE,
+    block_count: int = DEFAULT_BLOCKS,
+    datasets: int = 5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 6(b) — estimates contract around the truth as confidence rises."""
+    result = ExperimentResult(
+        experiment_id="fig6b",
+        title="Fig. 6(b): varying confidence beta; true mean = 100",
+        columns=[f"dataset{i + 1}" for i in range(datasets)] + ["spread"],
+    )
+    stores = [
+        _paper_store(data_size, block_count, seed=seed + i, name=f"normal{i}")
+        for i in range(datasets)
+    ]
+    for confidence in confidences:
+        config = ISLAConfig(precision=0.1, confidence=confidence)
+        answers = [
+            ISLAAggregator(config, seed=seed + 200 + i).aggregate_avg(store).value
+            for i, store in enumerate(stores)
+        ]
+        values = {f"dataset{i + 1}": answer for i, answer in enumerate(answers)}
+        values["spread"] = max(answers) - min(answers)
+        result.add_row(f"beta={confidence:g}", **values)
+    return result
+
+
+def run_fig6c_blocks(
+    block_counts: Sequence[int] = (6, 10, 14, 18, 24),
+    data_size: int = DEFAULT_DATA_SIZE,
+    datasets: int = 5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 6(c) — the number of blocks hardly affects the answers."""
+    result = ExperimentResult(
+        experiment_id="fig6c",
+        title="Fig. 6(c): varying number of blocks b; true mean = 100",
+        columns=[f"dataset{i + 1}" for i in range(datasets)] + ["spread"],
+    )
+    for block_count in block_counts:
+        answers = []
+        for i in range(datasets):
+            store = _paper_store(data_size, block_count, seed=seed + i, name=f"normal{i}")
+            answer = ISLAAggregator(ISLAConfig(precision=0.1), seed=seed + 300 + i)
+            answers.append(answer.aggregate_avg(store).value)
+        values = {f"dataset{i + 1}": value for i, value in enumerate(answers)}
+        values["spread"] = max(answers) - min(answers)
+        result.add_row(f"b={block_count}", **values)
+    return result
+
+
+def run_fig6d_boundaries(
+    p1_values: Sequence[float] = (0.25, 0.5, 0.75, 1.0, 1.25, 1.5),
+    data_size: int = DEFAULT_DATA_SIZE,
+    block_count: int = DEFAULT_BLOCKS,
+    datasets: int = 5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 6(d) — accuracy vs. the inner boundary parameter p1 (p2 fixed at 2)."""
+    result = ExperimentResult(
+        experiment_id="fig6d",
+        title="Fig. 6(d): varying data boundary parameter p1 (p2 = 2); true mean = 100",
+        columns=[f"dataset{i + 1}" for i in range(datasets)] + ["spread"],
+        notes="the paper recommends p1 in {0.5, 0.75}; large p1 degrades accuracy",
+    )
+    stores = [
+        _paper_store(data_size, block_count, seed=seed + i, name=f"normal{i}")
+        for i in range(datasets)
+    ]
+    for p1 in p1_values:
+        config = ISLAConfig(precision=0.1, p1=p1, p2=2.0)
+        answers = [
+            ISLAAggregator(config, seed=seed + 400 + i).aggregate_avg(store).value
+            for i, store in enumerate(stores)
+        ]
+        values = {f"dataset{i + 1}": answer for i, answer in enumerate(answers)}
+        values["spread"] = max(answers) - min(answers)
+        result.add_row(f"p1={p1:g}", **values)
+    return result

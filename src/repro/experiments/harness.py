@@ -1,0 +1,179 @@
+"""Common result containers and helpers for the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import ISLAConfig
+from repro.core.isla import ISLAAggregator
+from repro.core.pre_estimation import PreEstimator
+from repro.sampling import (
+    MeasureBiasedBoundaryAggregator,
+    MeasureBiasedValueAggregator,
+    StratifiedAggregator,
+    UniformAggregator,
+)
+from repro.storage.blockstore import BlockStore
+
+__all__ = [
+    "ExperimentRow",
+    "ExperimentResult",
+    "MethodComparison",
+    "run_method",
+    "resolve_rate",
+    "DEFAULT_DATA_SIZE",
+    "DEFAULT_BLOCKS",
+]
+
+#: default per-data-set size used by the runners (laptop scale; the paper
+#: used 10^10 — the answer quality is size-independent, see experiment E1)
+DEFAULT_DATA_SIZE = 400_000
+#: default number of blocks (the paper's default b = 10)
+DEFAULT_BLOCKS = 10
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One row of an experiment table."""
+
+    label: str
+    values: Dict[str, float]
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table or figure: labelled rows of named measurements."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[ExperimentRow] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, label: str, **values: float) -> None:
+        """Append a row (missing columns render blank)."""
+        self.rows.append(ExperimentRow(label=label, values=dict(values)))
+
+    def column_values(self, column: str) -> List[float]:
+        """All non-missing values of one column, row order preserved."""
+        return [row.values[column] for row in self.rows if column in row.values]
+
+    def to_text(self) -> str:
+        """Render the result as an aligned plain-text table."""
+        header = ["case"] + list(self.columns)
+        body: List[List[str]] = []
+        for row in self.rows:
+            cells = [row.label]
+            for column in self.columns:
+                value = row.values.get(column)
+                cells.append("" if value is None else f"{value:.6g}")
+            body.append(cells)
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for cells in body:
+            lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(len(cells))))
+        if self.notes:
+            lines.append("")
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """Answers of several methods on one data set (plus the ground truth)."""
+
+    truth: float
+    answers: Dict[str, float]
+    elapsed: Dict[str, float] = field(default_factory=dict)
+
+    def error(self, method: str) -> float:
+        """Absolute error of one method."""
+        return abs(self.answers[method] - self.truth)
+
+
+def resolve_rate(
+    store: BlockStore,
+    config: ISLAConfig,
+    column: Optional[str] = None,
+    seed: int = 0,
+) -> float:
+    """The Eq.-1 sampling rate a given precision/confidence demands on a store."""
+    pre = PreEstimator(config).estimate(store, column, np.random.default_rng(seed))
+    return pre.sampling_rate
+
+
+def run_method(
+    method: str,
+    store: BlockStore,
+    config: ISLAConfig,
+    seed: int,
+    column: Optional[str] = None,
+    rate: Optional[float] = None,
+) -> float:
+    """Run one named estimation method and return its AVG answer.
+
+    ``rate`` overrides the method's own rate resolution (used by the Table V
+    experiment, which hands ISLA a third of the baselines' budget).
+    """
+    method = method.upper()
+    if method == "ISLA":
+        aggregator = ISLAAggregator(config, seed=seed)
+        return aggregator.aggregate_avg(store, column, rate=rate).value
+    baselines = {
+        "US": UniformAggregator,
+        "STS": StratifiedAggregator,
+        "MV": MeasureBiasedValueAggregator,
+        "MVB": MeasureBiasedBoundaryAggregator,
+    }
+    if method in baselines:
+        baseline = baselines[method](seed=seed)
+        if rate is not None:
+            return baseline.aggregate(store, column, rate=rate).value
+        return baseline.aggregate(
+            store, column, precision=config.precision, confidence=config.confidence
+        ).value
+    if method == "EXACT":
+        return store.exact_mean(column)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def compare_methods(
+    methods: Sequence[str],
+    store: BlockStore,
+    config: ISLAConfig,
+    seed: int,
+    column: Optional[str] = None,
+    isla_rate_fraction: Optional[float] = None,
+) -> MethodComparison:
+    """Run several methods on the same store under the same precision target.
+
+    ``isla_rate_fraction`` (e.g. ``1/3``) reproduces the Table V setup where
+    ISLA receives only a fraction of the rate the baselines use.
+    """
+    truth = store.exact_mean(column)
+    answers: Dict[str, float] = {}
+    base_rate = None
+    if isla_rate_fraction is not None:
+        base_rate = resolve_rate(store, config, column, seed=seed)
+    for offset, method in enumerate(methods):
+        rate = None
+        if base_rate is not None:
+            rate = base_rate * (isla_rate_fraction if method.upper() == "ISLA" else 1.0)
+        # Give every method its own seed so methods that happen to share a
+        # sampling mechanism (e.g. US and proportional STS) do not produce
+        # byte-identical samples.
+        answers[method.upper()] = run_method(
+            method, store, config, seed=seed + 13 * (offset + 1), column=column, rate=rate
+        )
+    return MethodComparison(truth=truth, answers=answers)

@@ -1,0 +1,47 @@
+"""Registry mapping experiment identifiers to runner functions."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.experiments import ablations, figures, runtime, tables
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]
+
+ExperimentRunner = Callable[..., ExperimentResult]
+
+#: experiment id -> (runner, one-line description)
+EXPERIMENTS: Dict[str, tuple[ExperimentRunner, str]] = {
+    "e1": (figures.run_varying_data_size, "Section VIII-A: varying data size"),
+    "fig6a": (figures.run_fig6a_precision, "Fig. 6(a): varying desired precision"),
+    "fig6b": (figures.run_fig6b_confidence, "Fig. 6(b): varying confidence"),
+    "fig6c": (figures.run_fig6c_blocks, "Fig. 6(c): varying number of blocks"),
+    "fig6d": (figures.run_fig6d_boundaries, "Fig. 6(d): varying data boundaries"),
+    "table3": (tables.run_table3_accuracy, "Table III: ISLA vs MV vs MVB accuracy"),
+    "table4": (tables.run_table4_modulation, "Table IV: per-block modulation abilities"),
+    "table5": (tables.run_table5_uniform_stratified, "Table V: ISLA (r/3) vs US vs STS"),
+    "table6": (tables.run_table6_exponential, "Table VI: exponential distributions"),
+    "table7": (tables.run_table7_uniform, "Table VII: uniform distributions"),
+    "noniid": (tables.run_noniid, "Section VIII-D: non-i.i.d. blocks"),
+    "realdata": (tables.run_real_data, "Section VIII-G: simulated real-data columns"),
+    "runtime": (runtime.run_runtime_comparison, "Section VIII-F: runtime comparison"),
+    "ablation-alpha": (ablations.run_alpha_ablation, "Ablation A1: fixed vs iterated alpha"),
+    "ablation-q": (ablations.run_q_ablation, "Ablation A2: the allocating parameter q"),
+}
+
+
+def get_experiment(identifier: str) -> ExperimentRunner:
+    """Look up a runner by identifier (case-insensitive)."""
+    key = identifier.lower()
+    if key not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {identifier!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key][0]
+
+
+def list_experiments() -> Dict[str, str]:
+    """Identifier -> description for every registered experiment."""
+    return {key: description for key, (_, description) in EXPERIMENTS.items()}

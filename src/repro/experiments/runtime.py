@@ -1,0 +1,73 @@
+"""Runtime comparison on TPC-H-like data — paper Section VIII-F."""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.config import ISLAConfig
+from repro.core.isla import ISLAAggregator
+from repro.experiments.harness import DEFAULT_BLOCKS, ExperimentResult
+from repro.sampling import (
+    MeasureBiasedBoundaryAggregator,
+    MeasureBiasedValueAggregator,
+    StratifiedAggregator,
+    UniformAggregator,
+)
+from repro.workloads.tpch import LineitemGenerator
+
+__all__ = ["run_runtime_comparison"]
+
+
+def run_runtime_comparison(
+    rows: int = 1_000_000,
+    block_count: int = DEFAULT_BLOCKS,
+    column: str = "l_quantity",
+    precision: float = 0.05,
+    repetitions: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    """E12 — wall-clock comparison of ISLA, MV, MVB, US and STS on LINEITEM.
+
+    The paper uses a 100 GB TPC-H LINEITEM column (600 M rows) and reports the
+    total time of 20 runs; here the column is synthesised at laptop scale (see
+    DESIGN.md §4) and ``repetitions`` runs are timed.  Only *relative* times
+    are meaningful.
+    """
+    store = LineitemGenerator(rows, seed=seed).generate_store(block_count=block_count)
+    truth = store.exact_mean(column)
+    config = ISLAConfig(precision=precision)
+
+    methods = {
+        "ISLA": lambda s: ISLAAggregator(config, seed=s).aggregate_avg(store, column).value,
+        "MV": lambda s: MeasureBiasedValueAggregator(seed=s).aggregate(
+            store, column, precision=precision).value,
+        "MVB": lambda s: MeasureBiasedBoundaryAggregator(seed=s).aggregate(
+            store, column, precision=precision).value,
+        "US": lambda s: UniformAggregator(seed=s).aggregate(
+            store, column, precision=precision).value,
+        "STS": lambda s: StratifiedAggregator(seed=s).aggregate(
+            store, column, precision=precision).value,
+    }
+
+    result = ExperimentResult(
+        experiment_id="E12",
+        title=f"Section VIII-F: runtime on simulated TPC-H LINEITEM ({rows} rows, "
+              f"{repetitions} repetitions); true AVG(l_quantity) = {truth:.4f}",
+        columns=["total_seconds", "per_run_seconds", "last_answer", "abs_error"],
+        notes="paper ordering: US < ISLA < MV < MVB < STS (total run time)",
+    )
+    for name, runner in methods.items():
+        started = time.perf_counter()
+        answer = float("nan")
+        for repetition in range(repetitions):
+            answer = runner(seed + repetition)
+        elapsed = time.perf_counter() - started
+        result.add_row(
+            name,
+            total_seconds=elapsed,
+            per_run_seconds=elapsed / repetitions,
+            last_answer=answer,
+            abs_error=abs(answer - truth),
+        )
+    return result

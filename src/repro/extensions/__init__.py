@@ -1,0 +1,29 @@
+"""Extensions of the core scheme (paper Section VII).
+
+* :mod:`repro.extensions.online` — progressive (online) aggregation that
+  keeps refining the answer using the stored region moments (VII-A).
+* :mod:`repro.extensions.noniid` — per-block boundaries and variance-weighted
+  sampling rates for non-i.i.d. blocks (VII-C).
+* :mod:`repro.extensions.extreme` — leverage-guided MIN/MAX aggregation
+  (VII-D, sketched in the paper as work in progress).
+* :mod:`repro.extensions.distributed` — thread-parallel execution of the
+  Calculation module, mirroring the distributed deployment of VII-E.
+* :mod:`repro.extensions.time_constraint` — execute within a wall-clock
+  budget by sizing the sample from a calibration run (VII-F).
+"""
+
+from repro.extensions.online import OnlineAggregator, OnlineState
+from repro.extensions.noniid import NonIIDAggregator
+from repro.extensions.extreme import ExtremeValueAggregator, ExtremeResult
+from repro.extensions.distributed import ParallelISLAAggregator
+from repro.extensions.time_constraint import TimeConstrainedAggregator
+
+__all__ = [
+    "OnlineAggregator",
+    "OnlineState",
+    "NonIIDAggregator",
+    "ExtremeValueAggregator",
+    "ExtremeResult",
+    "ParallelISLAAggregator",
+    "TimeConstrainedAggregator",
+]

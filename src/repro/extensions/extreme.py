@@ -1,0 +1,145 @@
+"""Leverage-guided extreme-value (MIN/MAX) aggregation — paper Section VII-D.
+
+The paper sketches the extension: keep the same block framework but (1) record
+only the per-block extreme value and (2) let the *sampling rate* of each block
+be leverage-based, combining the block's local variance with its "general
+condition" (blocks whose values run generally higher are more likely to
+contain the maximum, and vice versa for the minimum).
+
+This module implements that sketch.  The block sampling leverage is::
+
+    lev_i  ∝  (1 + sigma_i^2) * exp(direction * (mean_i - mean_all) / spread)
+
+where ``direction`` is +1 for MAX and −1 for MIN, so high-mean blocks receive
+more samples when hunting the maximum.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Literal, Optional
+
+import numpy as np
+
+from repro.core.config import ISLAConfig
+from repro.errors import EmptyDataError, EstimationError
+from repro.storage.blockstore import BlockStore
+
+__all__ = ["ExtremeResult", "ExtremeValueAggregator"]
+
+ExtremeKind = Literal["max", "min"]
+
+
+@dataclass(frozen=True)
+class ExtremeResult:
+    """Result of an approximate MIN/MAX aggregation."""
+
+    value: float
+    kind: str
+    column: str
+    table: str
+    sample_size: int
+    per_block_extremes: Dict[int, float]
+    per_block_rates: Dict[int, float]
+    elapsed_seconds: float
+
+    def error_against(self, truth: float) -> float:
+        """Absolute error against the exact extreme."""
+        return abs(self.value - truth)
+
+
+class ExtremeValueAggregator:
+    """Approximate MIN/MAX with leverage-based per-block sampling rates."""
+
+    def __init__(
+        self,
+        config: Optional[ISLAConfig] = None,
+        base_rate: float = 0.05,
+        pilot_per_block: int = 300,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 < base_rate <= 1.0:
+            raise EstimationError(f"base_rate must lie in (0, 1], got {base_rate}")
+        self.config = config or ISLAConfig()
+        self.base_rate = float(base_rate)
+        self.pilot_per_block = int(pilot_per_block)
+        self._seed = seed if seed is not None else self.config.seed
+
+    # ------------------------------------------------------------------ API
+    def aggregate_max(
+        self, store: BlockStore, column: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ExtremeResult:
+        """Approximate ``MAX(column)``."""
+        return self._aggregate(store, column, kind="max", rng=rng)
+
+    def aggregate_min(
+        self, store: BlockStore, column: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ExtremeResult:
+        """Approximate ``MIN(column)``."""
+        return self._aggregate(store, column, kind="min", rng=rng)
+
+    # ------------------------------------------------------------ internals
+    def _aggregate(
+        self,
+        store: BlockStore,
+        column: Optional[str],
+        kind: ExtremeKind,
+        rng: Optional[np.random.Generator],
+    ) -> ExtremeResult:
+        started = time.perf_counter()
+        column = store.validate_column(column)
+        if store.total_rows == 0:
+            raise EmptyDataError(f"store {store.name!r} has no rows")
+        generator = rng if rng is not None else np.random.default_rng(self._seed)
+        direction = 1.0 if kind == "max" else -1.0
+
+        # Pilot pass: per-block mean and variance drive the sampling leverages.
+        means = []
+        variances = []
+        for block in store.blocks:
+            pilot_size = min(self.pilot_per_block, max(2, block.size))
+            pilot = block.sample_column(column, pilot_size, generator)
+            means.append(float(pilot.mean()))
+            variances.append(float(pilot.var()))
+        means_array = np.asarray(means)
+        spread = float(means_array.std()) or 1.0
+        general_condition = np.exp(direction * (means_array - means_array.mean()) / spread)
+        leverages = (1.0 + np.asarray(variances)) * general_condition
+        leverages = leverages / leverages.sum()
+
+        budget = max(store.block_count, int(round(self.base_rate * store.total_rows)))
+        per_block_extremes: Dict[int, float] = {}
+        per_block_rates: Dict[int, float] = {}
+        drawn = 0
+        best: Optional[float] = None
+        for index, block in enumerate(store.blocks):
+            if block.size == 0:
+                continue
+            share = max(1, int(round(budget * leverages[index])))
+            rate = min(1.0, share / block.size)
+            sample = block.sample_column(column, max(1, int(round(rate * block.size))), generator)
+            extreme = float(sample.max() if kind == "max" else sample.min())
+            per_block_extremes[block.block_id] = extreme
+            per_block_rates[block.block_id] = rate
+            drawn += sample.size
+            if best is None:
+                best = extreme
+            else:
+                best = max(best, extreme) if kind == "max" else min(best, extreme)
+
+        if best is None:
+            raise EmptyDataError("no block produced any samples")
+        elapsed = time.perf_counter() - started
+        return ExtremeResult(
+            value=best,
+            kind=kind,
+            column=column,
+            table=store.name,
+            sample_size=drawn,
+            per_block_extremes=per_block_extremes,
+            per_block_rates=per_block_rates,
+            elapsed_seconds=elapsed,
+        )

@@ -1,0 +1,125 @@
+"""Non-i.i.d. block handling — paper Section VII-C.
+
+When blocks follow different local distributions, two things change relative
+to the i.i.d. pipeline:
+
+* **Per-block sampling rates.**  Blocks with larger local variance receive
+  more samples.  The block leverage is ``blev_i = (1 + sigma_i^2) /
+  (b + sum_j sigma_j^2)`` and block ``i`` samples at rate
+  ``r * M * blev_i / |B_i|`` (capped at 1).
+* **Per-block boundaries.**  Each block draws its own pilot, computes its own
+  ``sketch0_i`` / ``sigma_i`` and therefore its own data boundaries, then runs
+  the normal iteration phase locally.
+
+The Summarization step is unchanged (size-weighted combination).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.boundaries import DataBoundaries
+from repro.core.calculation import BlockCalculator
+from repro.core.config import ISLAConfig
+from repro.core.result import AggregateResult, BlockResult
+from repro.core.summarization import combine_block_results
+from repro.errors import EmptyDataError
+from repro.stats.confidence import ConfidenceInterval, required_sampling_rate
+from repro.storage.blockstore import BlockStore
+
+__all__ = ["NonIIDAggregator"]
+
+
+class NonIIDAggregator:
+    """ISLA aggregation with per-block boundaries and sampling rates."""
+
+    method = "ISLA-noniid"
+
+    def __init__(
+        self,
+        config: Optional[ISLAConfig] = None,
+        pilot_per_block: int = 500,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.config = config or ISLAConfig()
+        self.pilot_per_block = int(pilot_per_block)
+        self._seed = seed if seed is not None else self.config.seed
+
+    def aggregate_avg(
+        self,
+        store: BlockStore,
+        column: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> AggregateResult:
+        """Approximate ``AVG(column)`` over a store with heterogeneous blocks."""
+        started = time.perf_counter()
+        column = store.validate_column(column)
+        if store.total_rows == 0:
+            raise EmptyDataError(f"store {store.name!r} has no rows")
+        generator = rng if rng is not None else np.random.default_rng(self._seed)
+
+        # Per-block pilots: sketch0_i, sigma_i.
+        sketches: List[float] = []
+        sigmas: List[float] = []
+        for block in store.blocks:
+            pilot_size = min(self.pilot_per_block, max(2, block.size))
+            pilot = block.sample_column(column, pilot_size, generator)
+            sketches.append(float(pilot.mean()))
+            sigmas.append(float(pilot.std()))
+
+        # Overall sampling rate from the pooled deviation (Eq. 1), then spread
+        # across blocks with the variance-driven block leverages.
+        pooled_sigma = float(np.sqrt(np.mean(np.square(sigmas)))) or 1e-12
+        overall_rate = required_sampling_rate(
+            pooled_sigma, self.config.precision, self.config.confidence, store.total_rows
+        )
+        variances = np.square(np.asarray(sigmas, dtype=float))
+        block_leverages = (1.0 + variances) / (store.block_count + variances.sum())
+
+        calculator = BlockCalculator(self.config)
+        block_results: List[BlockResult] = []
+        total_rows = store.total_rows
+        for index, block in enumerate(store.blocks):
+            if block.size == 0:
+                continue
+            local_rate = min(1.0, overall_rate * total_rows * block_leverages[index] / block.size)
+            boundaries = DataBoundaries.from_sketch(
+                sketches[index], sigmas[index], p1=self.config.p1, p2=self.config.p2
+            )
+            block_results.append(
+                calculator.run(
+                    block,
+                    column,
+                    local_rate,
+                    boundaries,
+                    sketches[index],
+                    generator,
+                    sketch_interval_radius=self.config.relaxed_precision,
+                )
+            )
+
+        value = combine_block_results(block_results)
+        elapsed = time.perf_counter() - started
+        interval = ConfidenceInterval(
+            center=value, radius=self.config.precision, confidence=self.config.confidence
+        )
+        return AggregateResult(
+            value=value,
+            aggregate="avg",
+            column=column,
+            table=store.name,
+            precision=self.config.precision,
+            confidence=self.config.confidence,
+            interval=interval,
+            sampling_rate=overall_rate,
+            sample_size=sum(block.sample_size for block in block_results),
+            sketch0=float(np.mean(sketches)),
+            sigma_estimate=pooled_sigma,
+            data_size=store.total_rows,
+            block_results=tuple(block_results),
+            method=self.method,
+            elapsed_seconds=elapsed,
+        )

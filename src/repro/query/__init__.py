@@ -1,0 +1,30 @@
+"""Query front-end: a small SQL dialect over the aggregation engines.
+
+The paper's system accepts queries of the form ``SELECT AVG(column) FROM
+database WHERE desired_precision``.  This package provides a tokenizer,
+parser and planner for that dialect (slightly extended with confidence,
+method selection and a time budget) plus :class:`AQPEngine`, the session
+facade examples and benchmarks use::
+
+    engine = AQPEngine()
+    engine.register_array("sensor", values, block_count=10)
+    result = engine.execute(
+        "SELECT AVG(value) FROM sensor PRECISION 0.1 CONFIDENCE 0.95"
+    )
+"""
+
+from repro.query.ast import AggregateQuery
+from repro.query.parser import parse_query
+from repro.query.planner import QueryPlan, plan_query
+from repro.query.executor import ExecutionResult, QueryExecutor
+from repro.query.engine import AQPEngine
+
+__all__ = [
+    "AggregateQuery",
+    "parse_query",
+    "QueryPlan",
+    "plan_query",
+    "ExecutionResult",
+    "QueryExecutor",
+    "AQPEngine",
+]

@@ -1,0 +1,79 @@
+"""Abstract syntax of the ISLA-SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import QuerySyntaxError
+
+#: aggregate functions the dialect accepts
+SUPPORTED_AGGREGATES = ("avg", "sum")
+
+#: estimation methods the planner accepts (upper-cased identifiers)
+SUPPORTED_METHODS = (
+    "ISLA",
+    "US",
+    "STS",
+    "MV",
+    "MVB",
+    "SLEV",
+    "BILEVEL",
+    "BLOCK",
+    "EBS",
+    "EXACT",
+)
+
+__all__ = ["AggregateQuery", "SUPPORTED_AGGREGATES", "SUPPORTED_METHODS"]
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """A parsed ``SELECT <agg>(<column>) FROM <table> ...`` statement."""
+
+    aggregate: str
+    column: str
+    table: str
+    precision: float = 0.1
+    confidence: float = 0.95
+    method: str = "ISLA"
+    time_budget_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.aggregate not in SUPPORTED_AGGREGATES:
+            raise QuerySyntaxError(
+                f"unsupported aggregate {self.aggregate!r}; "
+                f"supported: {SUPPORTED_AGGREGATES}"
+            )
+        if not self.column:
+            raise QuerySyntaxError("aggregate column must be non-empty")
+        if not self.table:
+            raise QuerySyntaxError("table name must be non-empty")
+        if self.precision <= 0:
+            raise QuerySyntaxError(f"precision must be positive, got {self.precision}")
+        if not 0.0 < self.confidence < 1.0:
+            raise QuerySyntaxError(
+                f"confidence must lie in (0, 1), got {self.confidence}"
+            )
+        if self.method.upper() not in SUPPORTED_METHODS:
+            raise QuerySyntaxError(
+                f"unsupported method {self.method!r}; supported: {SUPPORTED_METHODS}"
+            )
+        if self.time_budget_ms is not None and self.time_budget_ms <= 0:
+            raise QuerySyntaxError(
+                f"time budget must be positive, got {self.time_budget_ms}"
+            )
+        object.__setattr__(self, "method", self.method.upper())
+        object.__setattr__(self, "aggregate", self.aggregate.lower())
+
+    def describe(self) -> str:
+        """Canonical text form of the query."""
+        parts = [
+            f"SELECT {self.aggregate.upper()}({self.column}) FROM {self.table}",
+            f"PRECISION {self.precision:g}",
+            f"CONFIDENCE {self.confidence:g}",
+            f"METHOD {self.method}",
+        ]
+        if self.time_budget_ms is not None:
+            parts.append(f"TIME {self.time_budget_ms:g}")
+        return " ".join(parts)

@@ -1,0 +1,83 @@
+"""The AQP engine facade: catalog + parser + planner + executor."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import ISLAConfig
+from repro.query.executor import ExecutionResult, QueryExecutor
+from repro.query.parser import parse_query
+from repro.query.planner import QueryPlan, plan_query
+from repro.storage.blockstore import BlockStore
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+__all__ = ["AQPEngine"]
+
+
+class AQPEngine:
+    """A session-style facade tying the whole system together.
+
+    Example
+    -------
+    >>> engine = AQPEngine(seed=7)
+    >>> engine.register_array("readings", values, block_count=10)
+    >>> result = engine.execute(
+    ...     "SELECT AVG(value) FROM readings PRECISION 0.5 CONFIDENCE 0.95"
+    ... )
+    >>> round(result.value, 1)  # doctest: +SKIP
+    100.0
+    """
+
+    def __init__(
+        self,
+        config: Optional[ISLAConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.catalog = Catalog()
+        self.config = config or ISLAConfig()
+        self.seed = seed
+        self._executor = QueryExecutor(seed=seed)
+
+    # ---------------------------------------------------------- registration
+    def register_store(self, store: BlockStore, name: Optional[str] = None) -> None:
+        """Register an existing block store as a queryable table."""
+        self.catalog.register(store, name)
+
+    def register_table(self, table: Table, block_count: int = 10) -> None:
+        """Partition a table into blocks and register it."""
+        store = BlockStore.from_table(table, block_count=block_count)
+        self.catalog.register(store)
+
+    def register_array(
+        self,
+        name: str,
+        values: Sequence[float],
+        block_count: int = 10,
+        column: str = "value",
+    ) -> None:
+        """Partition a flat array into blocks and register it."""
+        store = BlockStore.from_array(name, np.asarray(values, dtype=float),
+                                      block_count=block_count, column=column)
+        self.catalog.register(store)
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        """Names of the registered tables."""
+        return self.catalog.table_names
+
+    # -------------------------------------------------------------- querying
+    def plan(self, statement: str) -> QueryPlan:
+        """Parse and plan a statement without executing it (EXPLAIN)."""
+        query = parse_query(statement)
+        return plan_query(query, self.catalog, base_config=self.config)
+
+    def execute(self, statement: str) -> ExecutionResult:
+        """Parse, plan and execute a statement."""
+        return self._executor.execute(self.plan(statement))
+
+    def explain(self, statement: str) -> str:
+        """Return the plan description for a statement."""
+        return self.plan(statement).describe()

@@ -1,0 +1,166 @@
+"""Physical execution of a query plan."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.isla import ISLAAggregator
+from repro.errors import QueryPlanError, TimeBudgetExceeded
+from repro.query.planner import QueryPlan
+from repro.sampling import (
+    BiLevelAggregator,
+    BlockLevelAggregator,
+    ErrorBoundedStratifiedAggregator,
+    MeasureBiasedBoundaryAggregator,
+    MeasureBiasedValueAggregator,
+    SlevAggregator,
+    StratifiedAggregator,
+    UniformAggregator,
+)
+
+__all__ = ["ExecutionResult", "QueryExecutor"]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Uniform wrapper around whatever estimator answered the query."""
+
+    value: float
+    method: str
+    aggregate: str
+    column: str
+    table: str
+    sample_size: int
+    elapsed_seconds: float
+    details: Dict[str, Any] = field(default_factory=dict)
+    raw: Any = None
+
+    def error_against(self, truth: float) -> float:
+        """Absolute error against a known ground truth."""
+        return abs(self.value - truth)
+
+
+#: baseline estimator classes, keyed by the method identifier of the dialect
+_BASELINES = {
+    "US": UniformAggregator,
+    "STS": StratifiedAggregator,
+    "MV": MeasureBiasedValueAggregator,
+    "MVB": MeasureBiasedBoundaryAggregator,
+    "SLEV": SlevAggregator,
+    "BILEVEL": BiLevelAggregator,
+    "BLOCK": BlockLevelAggregator,
+    "EBS": ErrorBoundedStratifiedAggregator,
+}
+
+
+class QueryExecutor:
+    """Executes a :class:`QueryPlan` with the requested estimation method."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self.seed = seed
+
+    def execute(self, plan: QueryPlan) -> ExecutionResult:
+        """Run the plan and wrap the answer in an :class:`ExecutionResult`."""
+        started = time.perf_counter()
+        method = plan.method
+        query = plan.query
+
+        if query.time_budget_ms is not None:
+            return self._execute_time_constrained(plan, started)
+
+        if method == "EXACT":
+            value = self._exact_value(plan)
+            elapsed = time.perf_counter() - started
+            return ExecutionResult(
+                value=value,
+                method=method,
+                aggregate=query.aggregate,
+                column=plan.column,
+                table=plan.store.name,
+                sample_size=plan.store.total_rows,
+                elapsed_seconds=elapsed,
+                details={"full_scan": True},
+            )
+
+        if method == "ISLA":
+            aggregator = ISLAAggregator(plan.config, seed=self.seed)
+            if query.aggregate == "avg":
+                result = aggregator.aggregate_avg(plan.store, plan.column)
+            else:
+                result = aggregator.aggregate_sum(plan.store, plan.column)
+            elapsed = time.perf_counter() - started
+            return ExecutionResult(
+                value=result.value,
+                method=method,
+                aggregate=query.aggregate,
+                column=plan.column,
+                table=plan.store.name,
+                sample_size=result.sample_size,
+                elapsed_seconds=elapsed,
+                details=result.to_dict(),
+                raw=result,
+            )
+
+        if method in _BASELINES:
+            baseline = _BASELINES[method](seed=self.seed)
+            estimate = baseline.aggregate(
+                plan.store,
+                plan.column,
+                precision=plan.config.precision,
+                confidence=plan.config.confidence,
+            )
+            value = estimate.value
+            if query.aggregate == "sum":
+                value *= plan.store.total_rows
+            elapsed = time.perf_counter() - started
+            return ExecutionResult(
+                value=value,
+                method=method,
+                aggregate=query.aggregate,
+                column=plan.column,
+                table=plan.store.name,
+                sample_size=estimate.sample_size,
+                elapsed_seconds=elapsed,
+                details=dict(estimate.details),
+                raw=estimate,
+            )
+
+        raise QueryPlanError(f"no executor registered for method {method!r}")
+
+    # ------------------------------------------------------------ internals
+    def _exact_value(self, plan: QueryPlan) -> float:
+        if plan.query.aggregate == "avg":
+            return plan.store.exact_mean(plan.column)
+        return plan.store.exact_sum(plan.column)
+
+    def _execute_time_constrained(self, plan: QueryPlan, started: float) -> ExecutionResult:
+        """Delegate to the time-constrained extension (Section VII-F)."""
+        from repro.extensions.time_constraint import TimeConstrainedAggregator
+
+        budget_seconds = (plan.query.time_budget_ms or 0.0) / 1000.0
+        aggregator = TimeConstrainedAggregator(plan.config, seed=self.seed)
+        try:
+            result = aggregator.aggregate_within(
+                plan.store, plan.column, budget_seconds=budget_seconds
+            )
+        except TimeBudgetExceeded as exc:
+            raise QueryPlanError(str(exc)) from exc
+        value = result.value
+        if plan.query.aggregate == "sum":
+            value *= plan.store.total_rows
+        elapsed = time.perf_counter() - started
+        return ExecutionResult(
+            value=value,
+            method="ISLA",
+            aggregate=plan.query.aggregate,
+            column=plan.column,
+            table=plan.store.name,
+            sample_size=result.sample_size,
+            elapsed_seconds=elapsed,
+            details={**result.to_dict(), "time_budget_ms": plan.query.time_budget_ms},
+            raw=result,
+        )

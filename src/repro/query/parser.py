@@ -1,0 +1,140 @@
+"""Tokenizer and recursive-descent parser for the ISLA-SQL dialect.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT aggregate '(' identifier ')' FROM identifier clause*
+    aggregate  := AVG | SUM
+    clause     := [WHERE] PRECISION number
+                | CONFIDENCE number
+                | METHOD identifier
+                | TIME number
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import AggregateQuery
+
+__all__ = ["tokenize", "parse_query"]
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:(?P<number>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)"
+    r"|(?P<word>[A-Za-z_][A-Za-z0-9_\.]*)"
+    r"|(?P<punct>[(),;*]))"
+)
+
+
+def tokenize(text: str) -> List[str]:
+    """Split a statement into number / word / punctuation tokens."""
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise QuerySyntaxError(f"unexpected character at: {remainder[:20]!r}")
+        token = match.group("number") or match.group("word") or match.group("punct")
+        tokens.append(token)
+        position = match.end()
+    return tokens
+
+
+class _TokenStream:
+    """Cursor over the token list with keyword-aware helpers."""
+
+    def __init__(self, tokens: List[str]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    def peek(self) -> Optional[str]:
+        if self.exhausted:
+            return None
+        return self._tokens[self._index]
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of statement")
+        self._index += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> None:
+        token = self.next()
+        if token.lower() != keyword.lower():
+            raise QuerySyntaxError(f"expected {keyword!r}, found {token!r}")
+
+    def expect_punct(self, punct: str) -> None:
+        token = self.next()
+        if token != punct:
+            raise QuerySyntaxError(f"expected {punct!r}, found {token!r}")
+
+    def next_number(self, context: str) -> float:
+        token = self.next()
+        try:
+            return float(token)
+        except ValueError as exc:
+            raise QuerySyntaxError(f"expected a number after {context}, found {token!r}") from exc
+
+    def next_identifier(self, context: str) -> str:
+        token = self.next()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_\.]*", token):
+            raise QuerySyntaxError(f"expected an identifier for {context}, found {token!r}")
+        return token
+
+
+def parse_query(text: str) -> AggregateQuery:
+    """Parse an ISLA-SQL statement into an :class:`AggregateQuery`."""
+    if not text or not text.strip():
+        raise QuerySyntaxError("empty statement")
+    stream = _TokenStream(tokenize(text))
+
+    stream.expect_keyword("select")
+    aggregate = stream.next_identifier("aggregate function").lower()
+    stream.expect_punct("(")
+    column = stream.next_identifier("aggregate column")
+    stream.expect_punct(")")
+    stream.expect_keyword("from")
+    table = stream.next_identifier("table name")
+
+    precision = 0.1
+    confidence = 0.95
+    method = "ISLA"
+    time_budget_ms: Optional[float] = None
+
+    while not stream.exhausted:
+        token = stream.next()
+        keyword = token.lower()
+        if keyword == "where":
+            # The paper writes "WHERE desired_precision"; WHERE is optional sugar.
+            continue
+        if keyword == ";":
+            break
+        if keyword == "precision":
+            precision = stream.next_number("PRECISION")
+        elif keyword == "confidence":
+            confidence = stream.next_number("CONFIDENCE")
+        elif keyword == "method":
+            method = stream.next_identifier("METHOD")
+        elif keyword == "time":
+            time_budget_ms = stream.next_number("TIME")
+        else:
+            raise QuerySyntaxError(f"unexpected token {token!r}")
+
+    return AggregateQuery(
+        aggregate=aggregate,
+        column=column,
+        table=table,
+        precision=precision,
+        confidence=confidence,
+        method=method,
+        time_budget_ms=time_budget_ms,
+    )

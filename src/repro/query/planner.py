@@ -1,0 +1,55 @@
+"""Logical planning: bind a parsed query to a block store and an estimator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import ISLAConfig
+from repro.errors import QueryPlanError
+from repro.query.ast import AggregateQuery
+from repro.storage.blockstore import BlockStore
+from repro.storage.catalog import Catalog
+
+__all__ = ["QueryPlan", "plan_query"]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A bound plan: which store, which column, which method, which config."""
+
+    query: AggregateQuery
+    store: BlockStore
+    column: str
+    config: ISLAConfig
+
+    @property
+    def method(self) -> str:
+        """The estimation method this plan will execute."""
+        return self.query.method
+
+    def describe(self) -> str:
+        """Readable plan description (used by the CLI's EXPLAIN output)."""
+        return (
+            f"{self.query.aggregate.upper()}({self.column}) over "
+            f"{self.store.name!r} [{self.store.block_count} blocks, "
+            f"{self.store.total_rows} rows] via {self.method} "
+            f"(e={self.config.precision:g}, beta={self.config.confidence:g})"
+        )
+
+
+def plan_query(
+    query: AggregateQuery,
+    catalog: Catalog,
+    base_config: Optional[ISLAConfig] = None,
+) -> QueryPlan:
+    """Resolve the table, validate the column and build the execution config."""
+    store = catalog.resolve(query.table)
+    try:
+        column = store.validate_column(query.column)
+    except Exception as exc:  # noqa: BLE001 - rewrap as a planning error
+        raise QueryPlanError(str(exc)) from exc
+    config = (base_config or ISLAConfig()).with_updates(
+        precision=query.precision, confidence=query.confidence
+    )
+    return QueryPlan(query=query, store=store, column=column, config=config)

@@ -1,0 +1,117 @@
+"""Shared interface for the baseline aggregators."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.stats.confidence import required_sampling_rate
+from repro.storage.blockstore import BlockStore
+
+__all__ = ["SampleEstimate", "BaselineAggregator"]
+
+#: pilot sample size used when a baseline must estimate sigma itself
+DEFAULT_PILOT_SIZE = 1000
+
+
+@dataclass(frozen=True)
+class SampleEstimate:
+    """The answer a baseline aggregator returns."""
+
+    value: float
+    sample_size: int
+    sampling_rate: float
+    method: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def error_against(self, truth: float) -> float:
+        """Absolute error against a known ground truth."""
+        return abs(self.value - truth)
+
+    def relative_error_against(self, truth: float) -> float:
+        """Relative error against a known ground truth."""
+        if truth == 0.0:
+            return float("inf") if self.value != 0.0 else 0.0
+        return abs(self.value - truth) / abs(truth)
+
+
+class BaselineAggregator(abc.ABC):
+    """A sampling-based AVG estimator running over a :class:`BlockStore`.
+
+    Subclasses implement :meth:`_aggregate`; the base class resolves the
+    sampling rate (either supplied directly, as the experiments do when they
+    hand ISLA a third of the baseline's budget, or derived from a
+    precision/confidence target through Eq. 1 of the paper) and seeds the
+    random generator.
+    """
+
+    #: short method identifier used in experiment tables ("US", "STS", ...)
+    method: str = "baseline"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self.seed = seed
+
+    # ------------------------------------------------------------------ API
+    def aggregate(
+        self,
+        store: BlockStore,
+        column: Optional[str] = None,
+        *,
+        rate: Optional[float] = None,
+        precision: Optional[float] = None,
+        confidence: float = 0.95,
+        rng: Optional[np.random.Generator] = None,
+    ) -> SampleEstimate:
+        """Estimate AVG(column) over ``store``.
+
+        Exactly one of ``rate`` and ``precision`` must be provided: ``rate``
+        fixes the sampling rate directly, while ``precision`` derives it from
+        Eq. 1 using a pilot estimate of sigma.
+        """
+        column = store.validate_column(column)
+        generator = rng if rng is not None else np.random.default_rng(self.seed)
+        resolved_rate = self._resolve_rate(
+            store, column, rate=rate, precision=precision,
+            confidence=confidence, rng=generator,
+        )
+        return self._aggregate(store, column, resolved_rate, generator)
+
+    # ------------------------------------------------------------ internals
+    def _resolve_rate(
+        self,
+        store: BlockStore,
+        column: str,
+        *,
+        rate: Optional[float],
+        precision: Optional[float],
+        confidence: float,
+        rng: np.random.Generator,
+    ) -> float:
+        if rate is not None and precision is not None:
+            raise SamplingError("provide either rate or precision, not both")
+        if rate is not None:
+            if not 0.0 < rate <= 1.0:
+                raise SamplingError(f"sampling rate must lie in (0, 1], got {rate}")
+            return float(rate)
+        if precision is None:
+            raise SamplingError("either rate or precision must be provided")
+        pilot = store.pilot_sample(column, DEFAULT_PILOT_SIZE, rng)
+        sigma = float(pilot.std())
+        return required_sampling_rate(sigma, precision, confidence, store.total_rows)
+
+    @abc.abstractmethod
+    def _aggregate(
+        self,
+        store: BlockStore,
+        column: str,
+        rate: float,
+        rng: np.random.Generator,
+    ) -> SampleEstimate:
+        """Run the estimator at the resolved sampling rate."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(method={self.method!r})"

@@ -1,0 +1,66 @@
+"""Streaming reservoir sampling.
+
+A generic substrate utility: the online-aggregation example uses it to keep a
+bounded uniform sample of the stream it has consumed so far, and tests use it
+to validate streaming code paths against batch sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+__all__ = ["ReservoirSampler"]
+
+
+class ReservoirSampler:
+    """Classic Algorithm-R reservoir sampling over a stream of floats."""
+
+    def __init__(self, capacity: int, seed: Optional[int] = None) -> None:
+        if capacity <= 0:
+            raise SamplingError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._rng = np.random.default_rng(seed)
+        self._reservoir: List[float] = []
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        """Number of stream items observed so far."""
+        return self._seen
+
+    @property
+    def is_full(self) -> bool:
+        """True once the reservoir holds ``capacity`` items."""
+        return len(self._reservoir) >= self.capacity
+
+    def add(self, value: float) -> None:
+        """Observe a single stream item."""
+        self._seen += 1
+        if len(self._reservoir) < self.capacity:
+            self._reservoir.append(float(value))
+            return
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self.capacity:
+            self._reservoir[slot] = float(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Observe a batch of stream items."""
+        for value in values:
+            self.add(value)
+
+    def sample(self) -> np.ndarray:
+        """Return a copy of the current reservoir contents."""
+        return np.asarray(self._reservoir, dtype=float)
+
+    def mean(self) -> float:
+        """Mean of the current reservoir (raises if nothing was observed)."""
+        if not self._reservoir:
+            raise SamplingError("reservoir is empty")
+        return float(np.mean(self._reservoir))
+
+    def __len__(self) -> int:
+        return len(self._reservoir)

@@ -1,0 +1,40 @@
+"""Uniform sampling (US) — the paper's primary cheap baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.sampling.base import BaselineAggregator, SampleEstimate
+from repro.storage.blockstore import BlockStore
+
+__all__ = ["UniformAggregator"]
+
+
+class UniformAggregator(BaselineAggregator):
+    """Plain uniform random sampling with the sample mean as the estimate.
+
+    Each block is sampled at the global rate (as in the paper's experiments,
+    where every block draws ``r * |B_j|`` rows) and the pooled sample mean is
+    returned.
+    """
+
+    method = "US"
+
+    def _aggregate(
+        self,
+        store: BlockStore,
+        column: str,
+        rate: float,
+        rng: np.random.Generator,
+    ) -> SampleEstimate:
+        sample = store.uniform_sample(column, rate, rng)
+        if sample.size == 0:
+            raise SamplingError("uniform sampling produced an empty sample")
+        return SampleEstimate(
+            value=float(sample.mean()),
+            sample_size=int(sample.size),
+            sampling_rate=rate,
+            method=self.method,
+            details={"sample_std": float(sample.std())},
+        )

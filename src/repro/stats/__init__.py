@@ -1,0 +1,41 @@
+"""Statistical substrate: confidence intervals, running moments, estimators.
+
+This package implements the statistics machinery the paper relies on in its
+Pre-estimation module (Section III): normal-quantile based confidence
+intervals (Definition 1), the required-sample-size formula (Eq. 1), and
+numerically stable streaming moments used to summarise pilot samples.
+"""
+
+from repro.stats.confidence import (
+    ConfidenceInterval,
+    confidence_interval,
+    half_width,
+    normal_quantile,
+    required_sample_size,
+    required_sampling_rate,
+)
+from repro.stats.moments import RunningMoments, StreamingMoments
+from repro.stats.estimators import (
+    hansen_hurwitz_mean,
+    weighted_mean,
+    trimmed_mean,
+    population_total,
+)
+from repro.stats.distributions import DistributionSummary, summarize
+
+__all__ = [
+    "ConfidenceInterval",
+    "confidence_interval",
+    "half_width",
+    "normal_quantile",
+    "required_sample_size",
+    "required_sampling_rate",
+    "RunningMoments",
+    "StreamingMoments",
+    "hansen_hurwitz_mean",
+    "weighted_mean",
+    "trimmed_mean",
+    "population_total",
+    "DistributionSummary",
+    "summarize",
+]

@@ -1,0 +1,78 @@
+"""Descriptive distribution summaries.
+
+Used by examples and the experiment harness to report the shape of the data a
+workload generator produced (skewness drives how hard the aggregation problem
+is for uniform sampling, which is the paper's motivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EmptyDataError
+
+__all__ = ["DistributionSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Moments and quantiles of a one-dimensional sample."""
+
+    count: int
+    mean: float
+    std: float
+    skewness: float
+    kurtosis: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range."""
+        return self.p75 - self.p25
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """std / |mean| (infinite when the mean is zero)."""
+        if self.mean == 0.0:
+            return float("inf")
+        return self.std / abs(self.mean)
+
+    def is_heavily_skewed(self, threshold: float = 1.0) -> bool:
+        """True when |skewness| exceeds ``threshold`` (default 1.0)."""
+        return abs(self.skewness) > threshold
+
+
+def summarize(values: Sequence[float]) -> DistributionSummary:
+    """Compute a :class:`DistributionSummary` for ``values``."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise EmptyDataError("cannot summarise an empty sample")
+    mean = float(array.mean())
+    std = float(array.std())
+    centered = array - mean
+    if std > 0.0:
+        skewness = float((centered ** 3).mean() / std ** 3)
+        kurtosis = float((centered ** 4).mean() / std ** 4 - 3.0)
+    else:
+        skewness = 0.0
+        kurtosis = 0.0
+    p25, median, p75 = (float(q) for q in np.percentile(array, [25, 50, 75]))
+    return DistributionSummary(
+        count=int(array.size),
+        mean=mean,
+        std=std,
+        skewness=skewness,
+        kurtosis=kurtosis,
+        minimum=float(array.min()),
+        p25=p25,
+        median=median,
+        p75=p75,
+        maximum=float(array.max()),
+    )

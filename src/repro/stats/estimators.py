@@ -1,0 +1,99 @@
+"""Classical sampling estimators used by baselines and extensions.
+
+These are textbook estimators (weighted mean, Hansen–Hurwitz, trimmed mean)
+that the baseline samplers in :mod:`repro.sampling` build on.  They are kept
+separate from the ISLA core so the baselines do not depend on the paper's
+leverage machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+__all__ = [
+    "weighted_mean",
+    "hansen_hurwitz_mean",
+    "trimmed_mean",
+    "population_total",
+]
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted mean ``sum(w_i x_i) / sum(w_i)``.
+
+    Raises
+    ------
+    EstimationError
+        If the inputs are empty, have mismatched lengths, or the weights sum
+        to zero.
+    """
+    value_array = np.asarray(values, dtype=float)
+    weight_array = np.asarray(weights, dtype=float)
+    if value_array.size == 0:
+        raise EstimationError("weighted_mean requires at least one value")
+    if value_array.shape != weight_array.shape:
+        raise EstimationError(
+            "values and weights must have the same shape: "
+            f"{value_array.shape} vs {weight_array.shape}"
+        )
+    weight_total = float(weight_array.sum())
+    if weight_total == 0.0:
+        raise EstimationError("weights sum to zero")
+    return float((value_array * weight_array).sum() / weight_total)
+
+
+def hansen_hurwitz_mean(
+    values: Sequence[float],
+    inclusion_probabilities: Sequence[float],
+    population_size: int,
+) -> float:
+    """Hansen–Hurwitz estimator of the population mean under PPS sampling.
+
+    For ``m`` draws with replacement where item ``i`` is selected with
+    probability ``p_i`` (summing to 1 over the population), the unbiased
+    estimator of the population total is ``(1/m) * sum(x_i / p_i)``; dividing
+    by the population size gives the mean.  This is the estimator used by the
+    SLEV baseline (algorithmic leveraging, reference [2] of the paper).
+    """
+    value_array = np.asarray(values, dtype=float)
+    prob_array = np.asarray(inclusion_probabilities, dtype=float)
+    if value_array.size == 0:
+        raise EstimationError("hansen_hurwitz_mean requires at least one draw")
+    if value_array.shape != prob_array.shape:
+        raise EstimationError("values and probabilities must have the same shape")
+    if np.any(prob_array <= 0.0):
+        raise EstimationError("all selection probabilities must be positive")
+    if population_size <= 0:
+        raise EstimationError("population_size must be positive")
+    total_estimate = float((value_array / prob_array).mean())
+    return total_estimate / population_size
+
+
+def trimmed_mean(values: Sequence[float], proportion: float = 0.05) -> float:
+    """Symmetric trimmed mean, dropping ``proportion`` from each tail.
+
+    Provided as a robust-baseline utility for examples and ablations.
+    """
+    if not 0.0 <= proportion < 0.5:
+        raise EstimationError(
+            f"trim proportion must lie in [0, 0.5), got {proportion!r}"
+        )
+    array = np.sort(np.asarray(values, dtype=float))
+    if array.size == 0:
+        raise EstimationError("trimmed_mean requires at least one value")
+    cut = int(array.size * proportion)
+    trimmed = array[cut : array.size - cut] if cut > 0 else array
+    if trimmed.size == 0:
+        raise EstimationError("trimming removed every value")
+    return float(trimmed.mean())
+
+
+def population_total(mean: float, population_size: int) -> float:
+    """SUM aggregation derived from AVG: ``mean * M`` (paper Section I)."""
+    if population_size < 0:
+        raise EstimationError("population_size must be non-negative")
+    return mean * population_size

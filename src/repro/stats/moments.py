@@ -1,0 +1,187 @@
+"""Streaming moment accumulators.
+
+Two flavours are provided:
+
+* :class:`RunningMoments` — Welford-style mean/variance accumulation, used by
+  the Pre-estimation module to summarise pilot samples and by the non-i.i.d.
+  extension to estimate per-block variances.
+* :class:`StreamingMoments` — raw power sums (count, sum, sum of squares, sum
+  of cubes).  This is the same information the paper keeps in ``paramS`` /
+  ``paramL`` and is what Theorem 3 consumes; it is kept here as a generic
+  reusable primitive, while :class:`repro.core.accumulators.RegionMoments`
+  adds the region semantics on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import math
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["RunningMoments", "StreamingMoments"]
+
+
+@dataclass
+class RunningMoments:
+    """Numerically stable running mean / variance (Welford's algorithm)."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def update(self, value: float) -> None:
+        """Fold a single observation into the accumulator."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def update_many(self, values: Iterable[float]) -> None:
+        """Fold an iterable (or array) of observations into the accumulator."""
+        array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                           dtype=float)
+        if array.size == 0:
+            return
+        other = RunningMoments.from_values(array)
+        self.merge(other)
+
+    def merge(self, other: "RunningMoments") -> None:
+        """Merge another accumulator into this one (parallel combination)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations seen so far."""
+        if self.count == 0:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def sample_variance(self) -> float:
+        """Unbiased (n-1) sample variance."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def sample_std(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.sample_variance)
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "RunningMoments":
+        """Build an accumulator from a batch of values in one vectorised pass."""
+        array = np.asarray(values, dtype=float)
+        moments = cls()
+        if array.size == 0:
+            return moments
+        moments.count = int(array.size)
+        moments.mean = float(array.mean())
+        moments._m2 = float(((array - moments.mean) ** 2).sum())
+        moments.minimum = float(array.min())
+        moments.maximum = float(array.max())
+        return moments
+
+
+@dataclass
+class StreamingMoments:
+    """Raw power sums up to the third moment.
+
+    The paper's Algorithm 1 records exactly these four quantities per region
+    (``counter``, ``sum``, ``squareSum``, ``cubeSum``); keeping only power
+    sums is what makes ISLA insensitive to the sampling order and frees it
+    from storing samples.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    square_sum: float = 0.0
+    cube_sum: float = 0.0
+
+    def update(self, value: float) -> None:
+        """Add a single observation."""
+        self.count += 1
+        self.total += value
+        self.square_sum += value * value
+        self.cube_sum += value * value * value
+
+    def update_many(self, values: Iterable[float]) -> None:
+        """Add a batch of observations (vectorised)."""
+        array = np.asarray(values, dtype=float)
+        if array.size == 0:
+            return
+        self.count += int(array.size)
+        self.total += float(array.sum())
+        self.square_sum += float((array ** 2).sum())
+        self.cube_sum += float((array ** 3).sum())
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Merge another accumulator (power sums are additive)."""
+        self.count += other.count
+        self.total += other.total
+        self.square_sum += other.square_sum
+        self.cube_sum += other.cube_sum
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    @property
+    def variance(self) -> float:
+        """Population variance computed from the power sums."""
+        if self.count == 0:
+            return 0.0
+        mean = self.mean
+        return max(0.0, self.square_sum / self.count - mean * mean)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "StreamingMoments":
+        """Build the accumulator from a batch of values."""
+        moments = cls()
+        moments.update_many(values)
+        return moments
+
+    def copy(self) -> "StreamingMoments":
+        """Return an independent copy."""
+        return StreamingMoments(
+            count=self.count,
+            total=self.total,
+            square_sum=self.square_sum,
+            cube_sum=self.cube_sum,
+        )

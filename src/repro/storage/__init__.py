@@ -1,0 +1,39 @@
+"""Block-storage substrate.
+
+The paper assumes data are "stored in multiple machines, i.e., blocks"
+(Section II-C) and simulates this by splitting each data set into ``b`` text
+files.  This package provides the same abstraction as an in-process library:
+
+* :class:`~repro.storage.block.Block` — one horizontal partition of a table.
+* :class:`~repro.storage.table.Table` — a named collection of columns.
+* :class:`~repro.storage.blockstore.BlockStore` — the partitioned table the
+  aggregation engines operate on.
+* Partitioners (even / hash / sorted / explicit) used to build block stores.
+* Text-file block I/O mirroring the paper's ``.txt`` block layout.
+* A :class:`~repro.storage.catalog.Catalog` mapping table names to stores.
+"""
+
+from repro.storage.block import Block
+from repro.storage.table import Table
+from repro.storage.blockstore import BlockStore
+from repro.storage.partitioner import (
+    even_partition,
+    hash_partition,
+    sorted_partition,
+    explicit_partition,
+)
+from repro.storage.textio import write_blocks_to_directory, read_blocks_from_directory
+from repro.storage.catalog import Catalog
+
+__all__ = [
+    "Block",
+    "Table",
+    "BlockStore",
+    "even_partition",
+    "hash_partition",
+    "sorted_partition",
+    "explicit_partition",
+    "write_blocks_to_directory",
+    "read_blocks_from_directory",
+    "Catalog",
+]

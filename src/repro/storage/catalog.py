@@ -1,0 +1,57 @@
+"""A tiny catalog mapping table names to block stores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.errors import StorageError, UnknownTableError
+from repro.storage.blockstore import BlockStore
+
+__all__ = ["Catalog"]
+
+
+@dataclass
+class Catalog:
+    """Registry of the block stores known to a query session.
+
+    The paper's system answers queries of the form ``SELECT AVG(column) FROM
+    database WHERE desired_precision``; the catalog resolves the ``FROM``
+    clause to a :class:`BlockStore`.
+    """
+
+    _stores: Dict[str, BlockStore] = field(default_factory=dict)
+
+    def register(self, store: BlockStore, name: Optional[str] = None) -> None:
+        """Register a store under ``name`` (defaults to the store's own name)."""
+        key = (name or store.name).lower()
+        if not key:
+            raise StorageError("cannot register a store under an empty name")
+        self._stores[key] = store
+
+    def unregister(self, name: str) -> None:
+        """Remove a table from the catalog (no-op if missing)."""
+        self._stores.pop(name.lower(), None)
+
+    def resolve(self, name: str) -> BlockStore:
+        """Look up a table by (case-insensitive) name."""
+        try:
+            return self._stores[name.lower()]
+        except KeyError as exc:
+            raise UnknownTableError(
+                f"unknown table {name!r}; registered tables: {sorted(self._stores)}"
+            ) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._stores
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._stores))
+
+    def __len__(self) -> int:
+        return len(self._stores)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Registered table names, sorted."""
+        return tuple(sorted(self._stores))

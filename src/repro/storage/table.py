@@ -1,0 +1,90 @@
+"""An unpartitioned, named, columnar table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import StorageError, UnknownColumnError
+
+__all__ = ["Table"]
+
+
+@dataclass
+class Table:
+    """A named collection of equally-long float columns.
+
+    A :class:`Table` is the logical object a query references (``FROM name``);
+    partitioning it with one of the partitioners in
+    :mod:`repro.storage.partitioner` yields the
+    :class:`~repro.storage.blockstore.BlockStore` the engines execute on.
+    """
+
+    name: str
+    columns: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.columns = {
+            key: np.asarray(values, dtype=float) for key, values in self.columns.items()
+        }
+        lengths = {key: len(values) for key, values in self.columns.items()}
+        if lengths and len(set(lengths.values())) != 1:
+            raise StorageError(
+                f"table {self.name!r}: columns have inconsistent lengths {lengths}"
+            )
+
+    def __len__(self) -> int:
+        if not self.columns:
+            return 0
+        return int(len(next(iter(self.columns.values()))))
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows."""
+        return len(self)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Names of the columns."""
+        return tuple(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """Return one column's values."""
+        try:
+            return self.columns[name]
+        except KeyError as exc:
+            raise UnknownColumnError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {sorted(self.columns)}"
+            ) from exc
+
+    def with_column(self, name: str, values: Sequence[float]) -> "Table":
+        """Return a new table with an added (or replaced) column."""
+        array = np.asarray(values, dtype=float)
+        if self.columns and len(array) != len(self):
+            raise StorageError(
+                f"new column {name!r} has {len(array)} rows, table has {len(self)}"
+            )
+        merged = dict(self.columns)
+        merged[name] = array
+        return Table(name=self.name, columns=merged)
+
+    @classmethod
+    def from_values(
+        cls, name: str, values: Sequence[float], column: str = "value"
+    ) -> "Table":
+        """Build a single-column table."""
+        return cls(name=name, columns={column: np.asarray(values, dtype=float)})
+
+    @classmethod
+    def from_mapping(cls, name: str, columns: Mapping[str, Sequence[float]]) -> "Table":
+        """Build a table from a mapping of column name to values."""
+        return cls(
+            name=name,
+            columns={key: np.asarray(vals, dtype=float) for key, vals in columns.items()},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table(name={self.name!r}, rows={len(self)}, columns={list(self.columns)})"

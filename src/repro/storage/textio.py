@@ -1,0 +1,85 @@
+"""Text-file block I/O.
+
+The paper's experiments store each block as a ``.txt`` file, one value per
+line, and stream the file line by line while sampling.  These helpers
+reproduce that layout so examples can round-trip a block store through disk
+and so the streaming code path gets exercised.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterator, List, Union
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.block import Block
+from repro.storage.blockstore import BlockStore
+
+__all__ = [
+    "write_blocks_to_directory",
+    "read_blocks_from_directory",
+    "iter_block_file",
+]
+
+_BLOCK_PREFIX = "block_"
+_BLOCK_SUFFIX = ".txt"
+
+
+def write_blocks_to_directory(
+    store: BlockStore,
+    directory: Union[str, os.PathLike],
+    column: str | None = None,
+) -> List[Path]:
+    """Write one ``block_<id>.txt`` file per block (one value per line)."""
+    column = store.validate_column(column)
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for block in store.blocks:
+        path = target / f"{_BLOCK_PREFIX}{block.block_id:04d}{_BLOCK_SUFFIX}"
+        values = block.column(column)
+        with path.open("w", encoding="ascii") as handle:
+            for value in values:
+                handle.write(f"{float(value)!r}\n")
+        written.append(path)
+    return written
+
+
+def iter_block_file(path: Union[str, os.PathLike]) -> Iterator[float]:
+    """Stream the values of one block file line by line."""
+    with Path(path).open("r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield float(line)
+            except ValueError as exc:
+                raise StorageError(f"invalid value {line!r} in block file {path}") from exc
+
+
+def read_blocks_from_directory(
+    directory: Union[str, os.PathLike],
+    name: str = "blocks",
+    column: str = "value",
+) -> BlockStore:
+    """Load every ``block_*.txt`` file in ``directory`` into a block store."""
+    source = Path(directory)
+    if not source.is_dir():
+        raise StorageError(f"{source} is not a directory")
+    paths = sorted(source.glob(f"{_BLOCK_PREFIX}*{_BLOCK_SUFFIX}"))
+    if not paths:
+        raise StorageError(f"no block files found under {source}")
+    blocks = []
+    for path in paths:
+        stem = path.stem[len(_BLOCK_PREFIX):]
+        try:
+            block_id = int(stem)
+        except ValueError as exc:
+            raise StorageError(f"block file {path.name} has a non-numeric id") from exc
+        values = np.fromiter(iter_block_file(path), dtype=float)
+        blocks.append(Block.from_values(block_id, values, column=column))
+    return BlockStore.from_blocks(name, blocks, default_column=column)

@@ -1,0 +1,46 @@
+"""Workload generators for every experiment in the paper's Section VIII.
+
+All generators are deterministic given a seed, return plain numpy arrays or
+:class:`~repro.storage.blockstore.BlockStore` objects, and record the exact
+population mean so experiments can compare against a golden truth without a
+full scan (the paper does the same with synthetic data).
+
+Real data sets the paper uses (US Census salary, NYC TLC trip distances,
+TPC-H LINEITEM) are not redistributable / not available offline, so this
+package ships *simulated* equivalents whose shape (skewness, outlier
+structure, scale) matches the published descriptions.  See DESIGN.md §4.
+"""
+
+from repro.workloads.synthetic import (
+    NormalWorkload,
+    ExponentialWorkload,
+    UniformWorkload,
+    LogNormalWorkload,
+    MixtureWorkload,
+    ParetoWorkload,
+)
+from repro.workloads.noniid import NonIIDWorkload, BlockSpec
+from repro.workloads.tpch import LineitemGenerator
+from repro.workloads.census import SalaryGenerator
+from repro.workloads.tlc import TripDistanceGenerator
+from repro.workloads.base import Workload, GeneratedData
+from repro.workloads.registry import WORKLOADS, get_workload, register_workload
+
+__all__ = [
+    "Workload",
+    "GeneratedData",
+    "NormalWorkload",
+    "ExponentialWorkload",
+    "UniformWorkload",
+    "LogNormalWorkload",
+    "MixtureWorkload",
+    "ParetoWorkload",
+    "NonIIDWorkload",
+    "BlockSpec",
+    "LineitemGenerator",
+    "SalaryGenerator",
+    "TripDistanceGenerator",
+    "WORKLOADS",
+    "get_workload",
+    "register_workload",
+]

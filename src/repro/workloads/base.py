@@ -1,0 +1,97 @@
+"""Common workload interfaces."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.storage.blockstore import BlockStore
+
+__all__ = ["GeneratedData", "Workload"]
+
+
+@dataclass(frozen=True)
+class GeneratedData:
+    """A generated column together with its known population statistics."""
+
+    values: np.ndarray
+    true_mean: float
+    true_std: float
+    description: str
+
+    @property
+    def size(self) -> int:
+        """Number of generated rows."""
+        return int(self.values.size)
+
+    def to_store(self, name: str, block_count: int = 10, column: str = "value") -> BlockStore:
+        """Partition the generated column into an evenly-blocked store."""
+        return BlockStore.from_array(name, self.values, block_count=block_count, column=column)
+
+
+class Workload(abc.ABC):
+    """A reproducible data generator.
+
+    Subclasses implement :meth:`_generate`; the base class handles seeding,
+    sizing and wrapping the result in :class:`GeneratedData`.
+    """
+
+    #: human-readable workload name (subclasses override)
+    name: str = "workload"
+
+    def __init__(self, size: int, seed: Optional[int] = None) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"workload size must be positive, got {size}")
+        self.size = int(size)
+        self.seed = seed
+
+    # ------------------------------------------------------------------ API
+    def generate(self, seed: Optional[int] = None) -> GeneratedData:
+        """Generate the column; ``seed`` overrides the constructor seed."""
+        effective_seed = self.seed if seed is None else seed
+        rng = np.random.default_rng(effective_seed)
+        values = np.asarray(self._generate(rng), dtype=float)
+        if values.size != self.size:
+            raise ConfigurationError(
+                f"{type(self).__name__} produced {values.size} rows, expected {self.size}"
+            )
+        return GeneratedData(
+            values=values,
+            true_mean=self.expected_mean(),
+            true_std=self.expected_std(),
+            description=self.describe(),
+        )
+
+    def generate_store(
+        self,
+        name: str,
+        block_count: int = 10,
+        seed: Optional[int] = None,
+        column: str = "value",
+    ) -> BlockStore:
+        """Generate and partition into a block store in one call."""
+        return self.generate(seed=seed).to_store(name, block_count=block_count, column=column)
+
+    # ------------------------------------------------------------ overrides
+    @abc.abstractmethod
+    def _generate(self, rng: np.random.Generator) -> np.ndarray:
+        """Produce ``self.size`` values using ``rng``."""
+
+    @abc.abstractmethod
+    def expected_mean(self) -> float:
+        """Analytic population mean of the generating distribution."""
+
+    @abc.abstractmethod
+    def expected_std(self) -> float:
+        """Analytic population standard deviation of the generating distribution."""
+
+    def describe(self) -> str:
+        """One-line description used in experiment reports."""
+        return f"{self.name}(size={self.size})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

@@ -1,0 +1,77 @@
+"""Named workload registry used by the experiment CLI and examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import Workload
+from repro.workloads.synthetic import (
+    ExponentialWorkload,
+    LogNormalWorkload,
+    MixtureWorkload,
+    NormalWorkload,
+    ParetoWorkload,
+    UniformWorkload,
+)
+
+__all__ = ["WORKLOADS", "register_workload", "get_workload"]
+
+WorkloadFactory = Callable[[int, int], Workload]
+
+
+def _paper_default(size: int, seed: int) -> Workload:
+    return NormalWorkload(size, mean=100.0, std=20.0, seed=seed)
+
+
+def _exponential(size: int, seed: int) -> Workload:
+    return ExponentialWorkload(size, rate=0.1, seed=seed)
+
+
+def _uniform(size: int, seed: int) -> Workload:
+    return UniformWorkload(size, low=1.0, high=199.0, seed=seed)
+
+
+def _lognormal(size: int, seed: int) -> Workload:
+    return LogNormalWorkload(size, mu=4.0, sigma=0.8, seed=seed)
+
+
+def _pareto(size: int, seed: int) -> Workload:
+    return ParetoWorkload(size, shape=3.0, scale=50.0, seed=seed)
+
+
+def _bimodal(size: int, seed: int) -> Workload:
+    components = [
+        NormalWorkload(size, mean=80.0, std=10.0),
+        NormalWorkload(size, mean=140.0, std=15.0),
+    ]
+    return MixtureWorkload(size, components, weights=[0.7, 0.3], seed=seed)
+
+
+#: registry of named factories ``name -> f(size, seed) -> Workload``
+WORKLOADS: Dict[str, WorkloadFactory] = {
+    "paper-normal": _paper_default,
+    "exponential": _exponential,
+    "uniform": _uniform,
+    "lognormal": _lognormal,
+    "pareto": _pareto,
+    "bimodal": _bimodal,
+}
+
+
+def register_workload(name: str, factory: WorkloadFactory) -> None:
+    """Register an additional named workload factory."""
+    if not name:
+        raise ConfigurationError("workload name must be non-empty")
+    WORKLOADS[name] = factory
+
+
+def get_workload(name: str, size: int, seed: int = 0) -> Workload:
+    """Instantiate a registered workload by name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from exc
+    return factory(size, seed)

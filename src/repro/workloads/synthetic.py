@@ -1,0 +1,255 @@
+"""Synthetic single-distribution workloads.
+
+The paper's default workload is ``N(100, 20^2)`` (Section VIII); Tables VI and
+VII use exponential and uniform data respectively.  Log-normal, Pareto and
+mixture workloads are provided in addition because the paper motivates ISLA
+with skewed/outlier-heavy data, and they are used by the examples and the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import Workload
+
+__all__ = [
+    "NormalWorkload",
+    "ExponentialWorkload",
+    "UniformWorkload",
+    "LogNormalWorkload",
+    "ParetoWorkload",
+    "MixtureWorkload",
+]
+
+
+class NormalWorkload(Workload):
+    """``N(mu, sigma^2)`` — the paper's default data set (mu=100, sigma=20)."""
+
+    name = "normal"
+
+    def __init__(
+        self,
+        size: int,
+        mean: float = 100.0,
+        std: float = 20.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(size, seed)
+        if std < 0:
+            raise ConfigurationError(f"std must be non-negative, got {std}")
+        self.mean = float(mean)
+        self.std = float(std)
+
+    def _generate(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(self.mean, self.std, size=self.size)
+
+    def expected_mean(self) -> float:
+        return self.mean
+
+    def expected_std(self) -> float:
+        return self.std
+
+    def describe(self) -> str:
+        return f"normal(mu={self.mean:g}, sigma={self.std:g}, size={self.size})"
+
+
+class ExponentialWorkload(Workload):
+    """Exponential with rate ``gamma`` — Table VI (mean ``1/gamma``)."""
+
+    name = "exponential"
+
+    def __init__(self, size: int, rate: float = 0.1, seed: Optional[int] = None) -> None:
+        super().__init__(size, seed)
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+
+    def _generate(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.exponential(1.0 / self.rate, size=self.size)
+
+    def expected_mean(self) -> float:
+        return 1.0 / self.rate
+
+    def expected_std(self) -> float:
+        return 1.0 / self.rate
+
+    def describe(self) -> str:
+        return f"exponential(gamma={self.rate:g}, size={self.size})"
+
+
+class UniformWorkload(Workload):
+    """Uniform on ``[low, high]`` — Table VII uses [1, 199] (mean 100)."""
+
+    name = "uniform"
+
+    def __init__(
+        self,
+        size: int,
+        low: float = 1.0,
+        high: float = 199.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(size, seed)
+        if high <= low:
+            raise ConfigurationError(f"high must exceed low, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def _generate(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=self.size)
+
+    def expected_mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def expected_std(self) -> float:
+        return (self.high - self.low) / math.sqrt(12.0)
+
+    def describe(self) -> str:
+        return f"uniform(low={self.low:g}, high={self.high:g}, size={self.size})"
+
+
+class LogNormalWorkload(Workload):
+    """Log-normal with underlying ``N(mu, sigma^2)`` — a skewed stress test."""
+
+    name = "lognormal"
+
+    def __init__(
+        self,
+        size: int,
+        mu: float = 0.0,
+        sigma: float = 1.0,
+        scale: float = 1.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(size, seed)
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be non-negative, got {sigma}")
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+        self.scale = float(scale)
+
+    def _generate(self, rng: np.random.Generator) -> np.ndarray:
+        return self.scale * rng.lognormal(self.mu, self.sigma, size=self.size)
+
+    def expected_mean(self) -> float:
+        return self.scale * math.exp(self.mu + self.sigma ** 2 / 2.0)
+
+    def expected_std(self) -> float:
+        variance = (math.exp(self.sigma ** 2) - 1.0) * math.exp(2 * self.mu + self.sigma ** 2)
+        return self.scale * math.sqrt(variance)
+
+    def describe(self) -> str:
+        return (
+            f"lognormal(mu={self.mu:g}, sigma={self.sigma:g}, "
+            f"scale={self.scale:g}, size={self.size})"
+        )
+
+
+class ParetoWorkload(Workload):
+    """Pareto (heavy-tailed) workload; models extreme outlier columns."""
+
+    name = "pareto"
+
+    def __init__(
+        self,
+        size: int,
+        shape: float = 3.0,
+        scale: float = 1.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(size, seed)
+        if shape <= 2.0:
+            raise ConfigurationError(
+                f"shape must exceed 2 so mean and variance exist, got {shape}"
+            )
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    def _generate(self, rng: np.random.Generator) -> np.ndarray:
+        # numpy's pareto() is the Lomax form; add 1 and rescale for classic Pareto.
+        return self.scale * (1.0 + rng.pareto(self.shape, size=self.size))
+
+    def expected_mean(self) -> float:
+        return self.scale * self.shape / (self.shape - 1.0)
+
+    def expected_std(self) -> float:
+        shape = self.shape
+        variance = (self.scale ** 2) * shape / ((shape - 1.0) ** 2 * (shape - 2.0))
+        return math.sqrt(variance)
+
+    def describe(self) -> str:
+        return f"pareto(shape={self.shape:g}, scale={self.scale:g}, size={self.size})"
+
+
+class MixtureWorkload(Workload):
+    """A finite mixture of other workloads (superimposed normals, etc.).
+
+    The paper argues real data are often "generated by superimposing several
+    normal distributions" (Section VII-B); this workload builds exactly that.
+    """
+
+    name = "mixture"
+
+    def __init__(
+        self,
+        size: int,
+        components: Sequence[Workload],
+        weights: Optional[Sequence[float]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(size, seed)
+        if not components:
+            raise ConfigurationError("mixture requires at least one component")
+        if weights is None:
+            weights = [1.0] * len(components)
+        if len(weights) != len(components):
+            raise ConfigurationError("weights and components must have equal length")
+        weight_array = np.asarray(weights, dtype=float)
+        if np.any(weight_array < 0) or weight_array.sum() == 0:
+            raise ConfigurationError("weights must be non-negative and not all zero")
+        self.components = list(components)
+        self.weights = weight_array / weight_array.sum()
+
+    def _generate(self, rng: np.random.Generator) -> np.ndarray:
+        assignment = rng.choice(len(self.components), size=self.size, p=self.weights)
+        values = np.empty(self.size, dtype=float)
+        for index, component in enumerate(self.components):
+            mask = assignment == index
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            # Delegate to the component's sampler with a sub-rng for determinism.
+            sub_rng = np.random.default_rng(rng.integers(0, 2 ** 32))
+            component_size = component.size
+            component.size = count
+            try:
+                values[mask] = component._generate(sub_rng)
+            finally:
+                component.size = component_size
+        return values
+
+    def expected_mean(self) -> float:
+        return float(
+            sum(w * c.expected_mean() for w, c in zip(self.weights, self.components))
+        )
+
+    def expected_std(self) -> float:
+        mean = self.expected_mean()
+        second_moment = sum(
+            w * (c.expected_std() ** 2 + c.expected_mean() ** 2)
+            for w, c in zip(self.weights, self.components)
+        )
+        return math.sqrt(max(0.0, second_moment - mean ** 2))
+
+    def describe(self) -> str:
+        parts = ", ".join(component.describe() for component in self.components)
+        return f"mixture([{parts}], size={self.size})"

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ISLAConfig
+from repro.storage.blockstore import BlockStore
+from repro.workloads.synthetic import NormalWorkload
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_config() -> ISLAConfig:
+    """The paper's default configuration."""
+    return ISLAConfig()
+
+
+@pytest.fixture(scope="session")
+def normal_values() -> np.ndarray:
+    """A reasonably large N(100, 20^2) column shared across tests."""
+    return np.random.default_rng(7).normal(100.0, 20.0, size=200_000)
+
+
+@pytest.fixture(scope="session")
+def normal_store(normal_values: np.ndarray) -> BlockStore:
+    """The shared column partitioned into the paper's default 10 blocks."""
+    return BlockStore.from_array("normal", normal_values, block_count=10)
+
+
+@pytest.fixture
+def small_store() -> BlockStore:
+    """A small 4-block store for cheap structural tests."""
+    workload = NormalWorkload(8_000, mean=50.0, std=5.0, seed=3)
+    return workload.generate_store("small", block_count=4)

@@ -1,0 +1,67 @@
+"""Unit tests for the region moment accumulators (paramS / paramL)."""
+
+import numpy as np
+import pytest
+
+from repro.core.accumulators import RegionMoments
+from repro.errors import EstimationError
+
+
+class TestRegionMoments:
+    def test_update_matches_power_sums(self, rng):
+        values = rng.normal(100.0, 20.0, size=1_000)
+        moments = RegionMoments.from_values(values)
+        assert moments.count == 1_000
+        assert moments.total == pytest.approx(values.sum())
+        assert moments.square_sum == pytest.approx((values ** 2).sum())
+        assert moments.cube_sum == pytest.approx((values ** 3).sum())
+        assert moments.mean == pytest.approx(values.mean())
+
+    def test_scalar_updates_equal_batch(self, rng):
+        values = rng.uniform(0, 50, size=200)
+        scalar = RegionMoments()
+        for value in values:
+            scalar.update(float(value))
+        batch = RegionMoments.from_values(values)
+        assert scalar.count == batch.count
+        assert scalar.total == pytest.approx(batch.total)
+        assert scalar.square_sum == pytest.approx(batch.square_sum)
+        assert scalar.cube_sum == pytest.approx(batch.cube_sum)
+
+    def test_order_insensitivity(self, rng):
+        """The paper's key property: accumulators ignore the sampling order."""
+        values = rng.normal(10.0, 3.0, size=500)
+        shuffled = rng.permutation(values)
+        forward = RegionMoments.from_values(values)
+        permuted = RegionMoments.from_values(shuffled)
+        assert forward.total == pytest.approx(permuted.total)
+        assert forward.square_sum == pytest.approx(permuted.square_sum)
+        assert forward.cube_sum == pytest.approx(permuted.cube_sum)
+
+    def test_merge_supports_online_mode(self, rng):
+        first_round = rng.normal(0, 1, size=300)
+        second_round = rng.normal(0, 1, size=700)
+        merged = RegionMoments.from_values(first_round)
+        merged.merge(RegionMoments.from_values(second_round))
+        full = RegionMoments.from_values(np.concatenate([first_round, second_round]))
+        assert merged.count == full.count
+        assert merged.cube_sum == pytest.approx(full.cube_sum)
+
+    def test_add_operator(self):
+        a = RegionMoments.from_values([1.0, 2.0])
+        b = RegionMoments.from_values([3.0])
+        combined = a + b
+        assert combined.count == 3
+        assert a.count == 2 and b.count == 1  # operands untouched
+
+    def test_empty_region(self):
+        moments = RegionMoments()
+        assert moments.is_empty
+        with pytest.raises(EstimationError):
+            _ = moments.mean
+
+    def test_copy_is_independent(self):
+        original = RegionMoments.from_values([2.0])
+        clone = original.copy()
+        clone.update(5.0)
+        assert original.count == 1 and clone.count == 2

@@ -1,0 +1,108 @@
+"""Unit tests for ISLAConfig and the data boundaries / regions."""
+
+import numpy as np
+import pytest
+
+from repro.core.boundaries import DataBoundaries, Region
+from repro.core.config import ISLAConfig
+from repro.errors import ConfigurationError
+
+
+class TestISLAConfig:
+    def test_paper_defaults(self):
+        config = ISLAConfig.paper_defaults()
+        assert config.precision == 0.1
+        assert config.confidence == 0.95
+        assert config.p1 == 0.5
+        assert config.p2 == 2.0
+        assert config.step_length_factor == 0.8
+        assert config.convergence_rate == 0.5
+
+    def test_relaxed_precision(self):
+        config = ISLAConfig(precision=0.2, relaxed_factor=3.0)
+        assert config.relaxed_precision == pytest.approx(0.6)
+
+    def test_with_updates_revalidates(self):
+        config = ISLAConfig()
+        updated = config.with_updates(precision=0.5)
+        assert updated.precision == 0.5
+        with pytest.raises(ConfigurationError):
+            config.with_updates(precision=-1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"precision": 0.0},
+            {"confidence": 1.0},
+            {"p1": 2.0, "p2": 1.0},
+            {"step_length_factor": 1.0},
+            {"convergence_rate": 0.0},
+            {"threshold": 0.0},
+            {"relaxed_factor": 1.0},
+            {"pilot_sample_size": 1},
+            {"balance_tolerance": 0.0},
+            {"mild_band": 0.001},       # below balance_tolerance
+            {"q_moderate": 0.5},
+            {"max_iterations": 0},
+        ],
+    )
+    def test_invalid_configurations(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ISLAConfig(**kwargs)
+
+
+class TestDataBoundaries:
+    def test_from_sketch_paper_defaults(self):
+        boundaries = DataBoundaries.from_sketch(100.0, 20.0, p1=0.5, p2=2.0)
+        assert boundaries.ts_s == pytest.approx(60.0)
+        assert boundaries.s_n == pytest.approx(90.0)
+        assert boundaries.n_l == pytest.approx(110.0)
+        assert boundaries.l_tl == pytest.approx(140.0)
+        assert boundaries.center == pytest.approx(100.0)
+
+    def test_classify_value_each_region(self):
+        boundaries = DataBoundaries.from_sketch(100.0, 20.0)
+        assert boundaries.classify_value(10.0) is Region.TOO_SMALL
+        assert boundaries.classify_value(60.0) is Region.TOO_SMALL   # closed on TS side
+        assert boundaries.classify_value(75.0) is Region.SMALL
+        assert boundaries.classify_value(90.0) is Region.NORMAL      # closed on N side
+        assert boundaries.classify_value(100.0) is Region.NORMAL
+        assert boundaries.classify_value(110.0) is Region.NORMAL
+        assert boundaries.classify_value(125.0) is Region.LARGE
+        assert boundaries.classify_value(140.0) is Region.TOO_LARGE  # closed on TL side
+        assert boundaries.classify_value(500.0) is Region.TOO_LARGE
+
+    def test_vectorised_classification_matches_scalar(self, rng):
+        boundaries = DataBoundaries.from_sketch(100.0, 20.0)
+        values = rng.normal(100.0, 40.0, size=2_000)
+        vectorised = boundaries.classify(values)
+        scalar = np.array([int(boundaries.classify_value(v)) for v in values])
+        assert np.array_equal(vectorised, scalar)
+
+    def test_split_sl(self, rng):
+        boundaries = DataBoundaries.from_sketch(100.0, 20.0)
+        values = rng.normal(100.0, 20.0, size=5_000)
+        s_values, l_values = boundaries.split_sl(values)
+        assert np.all((s_values > 60.0) & (s_values < 90.0))
+        assert np.all((l_values > 110.0) & (l_values < 140.0))
+        regions = boundaries.classify(values)
+        assert s_values.size == int((regions == int(Region.SMALL)).sum())
+        assert l_values.size == int((regions == int(Region.LARGE)).sum())
+
+    def test_region_widths_and_translate(self):
+        boundaries = DataBoundaries.from_sketch(100.0, 20.0)
+        assert boundaries.region_widths == pytest.approx((30.0, 20.0, 30.0))
+        shifted = boundaries.translate(10.0)
+        assert shifted.center == pytest.approx(110.0)
+        assert shifted.region_widths == boundaries.region_widths
+
+    def test_short_names(self):
+        assert [region.short_name for region in Region] == ["TS", "S", "N", "L", "TL"]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DataBoundaries.from_sketch(100.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            DataBoundaries.from_sketch(100.0, 20.0, p1=2.0, p2=1.0)
+        with pytest.raises(ConfigurationError):
+            DataBoundaries(ts_s=1.0, s_n=0.5, n_l=2.0, l_tl=3.0)

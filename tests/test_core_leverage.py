@@ -1,0 +1,120 @@
+"""Unit tests for leverage scores, the allocating parameter q and normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ISLAConfig
+from repro.core.leverage import (
+    LeverageNormalizer,
+    allocate_q,
+    deviation_degree,
+    raw_leverages,
+    theoretical_leverage_sums,
+)
+from repro.errors import EstimationError
+
+
+class TestDeviationAndQ:
+    def test_deviation_degree(self):
+        assert deviation_degree(100, 100) == pytest.approx(1.0)
+        assert deviation_degree(120, 100) == pytest.approx(1.2)
+
+    def test_deviation_requires_nonempty_l(self):
+        with pytest.raises(EstimationError):
+            deviation_degree(10, 0)
+
+    def test_q_is_one_in_the_mild_band(self):
+        config = ISLAConfig()
+        assert allocate_q(1000, 1005, config) == 1.0
+        assert allocate_q(1020, 1000, config) == 1.0
+
+    def test_q_moderate_band(self):
+        config = ISLAConfig()
+        # dev = 1.05 -> moderate band, S larger -> q = 1/5
+        assert allocate_q(1050, 1000, config) == pytest.approx(1.0 / config.q_moderate)
+        # dev ~ 0.952 -> moderate band, L larger -> q = 5
+        assert allocate_q(1000, 1050, config) == pytest.approx(config.q_moderate)
+
+    def test_q_severe_band(self):
+        config = ISLAConfig()
+        assert allocate_q(1200, 1000, config) == pytest.approx(1.0 / config.q_severe)
+        assert allocate_q(1000, 1200, config) == pytest.approx(config.q_severe)
+
+    def test_theoretical_sums_follow_constraint_2(self):
+        sum_s, sum_l = theoretical_leverage_sums(80, 120, q=1.0)
+        assert sum_s + sum_l == pytest.approx(1.0)
+        assert sum_s / sum_l == pytest.approx(80 / 120)
+
+    def test_theoretical_sums_with_q(self):
+        sum_s, sum_l = theoretical_leverage_sums(100, 100, q=0.2)
+        assert sum_s + sum_l == pytest.approx(1.0)
+        assert sum_s / sum_l == pytest.approx(0.2)
+
+    def test_theoretical_sums_validation(self):
+        with pytest.raises(EstimationError):
+            theoretical_leverage_sums(0, 10, 1.0)
+        with pytest.raises(EstimationError):
+            theoretical_leverage_sums(10, 10, 0.0)
+
+
+class TestRawLeverages:
+    def test_definition(self):
+        s = np.array([4.0, 5.0])
+        l = np.array([8.0])
+        total_square = 16.0 + 25.0 + 64.0
+        raw_s, raw_l = raw_leverages(s, l)
+        assert raw_s == pytest.approx([1 - 16 / total_square, 1 - 25 / total_square])
+        assert raw_l == pytest.approx([64 / total_square])
+
+    def test_larger_l_values_get_larger_leverage(self):
+        _, raw_l = raw_leverages(np.array([1.0]), np.array([2.0, 3.0, 4.0]))
+        assert raw_l[0] < raw_l[1] < raw_l[2]
+
+    def test_smaller_s_values_get_larger_leverage(self):
+        raw_s, _ = raw_leverages(np.array([2.0, 3.0, 4.0]), np.array([5.0]))
+        assert raw_s[0] > raw_s[1] > raw_s[2]
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(EstimationError):
+            raw_leverages(np.array([0.0]), np.array([0.0]))
+
+
+class TestLeverageNormalizer:
+    def test_paper_example_1_table_ii(self):
+        """The worked example of Section IV-B: S = {4, 5}, L = {8}."""
+        normalizer = LeverageNormalizer([4.0, 5.0], [8.0], q=1.0)
+        raw_s, raw_l = normalizer.raw()
+        assert raw_s == pytest.approx([89 / 105, 80 / 105])
+        assert raw_l == pytest.approx([64 / 105])
+        fac_s, fac_l = normalizer.normalization_factors()
+        assert fac_s == pytest.approx(169 / 70)
+        assert fac_l == pytest.approx(64 / 35)
+        norm_s, norm_l = normalizer.normalized()
+        assert norm_s == pytest.approx([178 / 507, 160 / 507])
+        assert norm_l == pytest.approx([1 / 3])
+
+    def test_constraint_1_total_is_one(self, rng):
+        s = rng.uniform(50, 90, size=40)
+        l = rng.uniform(110, 150, size=60)
+        normalizer = LeverageNormalizer(s, l, q=1.0)
+        sum_s, sum_l = normalizer.leverage_sums()
+        assert sum_s + sum_l == pytest.approx(1.0)
+
+    def test_constraint_2_region_sums_proportional_to_counts(self, rng):
+        s = rng.uniform(50, 90, size=30)
+        l = rng.uniform(110, 150, size=90)
+        sum_s, sum_l = LeverageNormalizer(s, l, q=1.0).leverage_sums()
+        assert sum_s / sum_l == pytest.approx(30 / 90)
+
+    def test_q_shifts_region_mass(self, rng):
+        s = rng.uniform(50, 90, size=50)
+        l = rng.uniform(110, 150, size=50)
+        sum_s, sum_l = LeverageNormalizer(s, l, q=0.1).leverage_sums()
+        assert sum_s / sum_l == pytest.approx(0.1)
+        assert sum_s + sum_l == pytest.approx(1.0)
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(EstimationError):
+            LeverageNormalizer([], [1.0])
+        with pytest.raises(EstimationError):
+            LeverageNormalizer([1.0], [])

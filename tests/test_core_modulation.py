@@ -1,0 +1,200 @@
+"""Unit tests for case classification, step planning and the iteration loop."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.accumulators import RegionMoments
+from repro.core.config import ISLAConfig
+from repro.core.modulation import (
+    IterativeModulator,
+    ModulationCase,
+    classify_case,
+    plan_step,
+    theorem1_step_ratio,
+)
+from repro.core.objective import ObjectiveFunction
+from repro.errors import ConvergenceError, EstimationError
+
+
+class TestClassifyCase:
+    def test_balanced_counts_return_case5(self):
+        assert classify_case(-0.5, 1000, 1005, 0.01) is ModulationCase.BALANCED
+
+    def test_zero_d0_returns_case5(self):
+        assert classify_case(0.0, 1500, 1000, 0.01) is ModulationCase.BALANCED
+
+    def test_consistent_cases(self):
+        # sketch too high: |S| > |L| and c below sketch (D0 < 0) -> case 2
+        assert classify_case(-0.5, 1300, 1000, 0.01) is ModulationCase.TOWARD_EACH_OTHER_DOWN
+        # sketch too low: |S| < |L| and c above sketch (D0 > 0) -> case 3
+        assert classify_case(0.5, 1000, 1300, 0.01) is ModulationCase.TOWARD_EACH_OTHER_UP
+
+    def test_contradictory_cases_with_strong_imbalance(self):
+        assert (
+            classify_case(-0.5, 1000, 1300, 0.01, contradiction_band=0.06)
+            is ModulationCase.UNBALANCED_INCREASE
+        )
+        assert (
+            classify_case(0.5, 1300, 1000, 0.01, contradiction_band=0.06)
+            is ModulationCase.UNBALANCED_DECREASE
+        )
+
+    def test_contradictory_cases_with_weak_imbalance_fall_back_to_sketch(self):
+        assert (
+            classify_case(-0.5, 1000, 1030, 0.01, contradiction_band=0.06)
+            is ModulationCase.BALANCED
+        )
+
+    def test_paper_case_numbers(self):
+        assert ModulationCase.TOWARD_EACH_OTHER_DOWN.paper_case == 2
+        assert ModulationCase.BALANCED.paper_case == 5
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(EstimationError):
+            classify_case(0.1, 0, 10, 0.01)
+
+
+class TestPlanStep:
+    @pytest.mark.parametrize(
+        "case,d",
+        [
+            (ModulationCase.TOWARD_EACH_OTHER_DOWN, -1.0),
+            (ModulationCase.TOWARD_EACH_OTHER_UP, 1.0),
+            (ModulationCase.UNBALANCED_INCREASE, -1.0),
+            (ModulationCase.UNBALANCED_DECREASE, 1.0),
+        ],
+    )
+    def test_step_achieves_geometric_reduction(self, case, d):
+        eta, lam = 0.5, 0.8
+        delta_lest, delta_sketch = plan_step(case, d, lam, eta)
+        new_d = d + delta_lest - delta_sketch
+        assert new_d == pytest.approx(eta * d)
+
+    def test_lambda_ratio_between_moves(self):
+        delta_lest, delta_sketch = plan_step(
+            ModulationCase.TOWARD_EACH_OTHER_DOWN, -1.0, 0.8, 0.5
+        )
+        assert abs(delta_lest) == pytest.approx(0.8 * abs(delta_sketch))
+        delta_lest, delta_sketch = plan_step(
+            ModulationCase.UNBALANCED_INCREASE, -1.0, 0.8, 0.5
+        )
+        assert abs(delta_sketch) == pytest.approx(0.8 * abs(delta_lest))
+
+    def test_directions(self):
+        # Case 2: sketch falls, l-estimator rises.
+        delta_lest, delta_sketch = plan_step(
+            ModulationCase.TOWARD_EACH_OTHER_DOWN, -1.0, 0.8, 0.5
+        )
+        assert delta_lest > 0 > delta_sketch
+        # Case 3: sketch rises, l-estimator falls.
+        delta_lest, delta_sketch = plan_step(
+            ModulationCase.TOWARD_EACH_OTHER_UP, 1.0, 0.8, 0.5
+        )
+        assert delta_sketch > 0 > delta_lest
+
+    def test_balanced_case_is_a_no_op(self):
+        assert plan_step(ModulationCase.BALANCED, 5.0, 0.8, 0.5) == (0.0, 0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(EstimationError):
+            plan_step(ModulationCase.TOWARD_EACH_OTHER_UP, 1.0, 1.5, 0.5)
+        with pytest.raises(EstimationError):
+            plan_step(ModulationCase.TOWARD_EACH_OTHER_UP, 1.0, 0.5, 0.0)
+
+
+class TestTheorem1Ratio:
+    def test_paper_boundaries_value(self):
+        # p1 = 0.5, p2 = 2.0: the ratio is about 0.24.
+        assert theorem1_step_ratio(0.5, 2.0) == pytest.approx(0.238, abs=0.01)
+
+    def test_always_within_unit_interval(self):
+        for p1, p2 in [(0.1, 0.5), (0.25, 3.0), (1.0, 2.0), (0.5, 1.0)]:
+            ratio = theorem1_step_ratio(p1, p2)
+            assert 0.0 < ratio < 1.0
+
+    def test_invalid_boundaries(self):
+        with pytest.raises(EstimationError):
+            theorem1_step_ratio(2.0, 0.5)
+
+
+class TestIterativeModulator:
+    def _objective_and_counts(self, rng, sketch_bias):
+        """Build an objective from a normal block with a biased sketch."""
+        from repro.core.boundaries import DataBoundaries
+
+        sample = rng.normal(100.0, 20.0, size=30_000)
+        sketch0 = 100.0 + sketch_bias
+        boundaries = DataBoundaries.from_sketch(sketch0, 20.0)
+        s_values, l_values = boundaries.split_sl(sample)
+        objective = ObjectiveFunction.from_moments(
+            RegionMoments.from_values(s_values), RegionMoments.from_values(l_values)
+        )
+        return objective, s_values.size, l_values.size, sketch0
+
+    def test_converges_below_threshold(self, rng):
+        config = ISLAConfig()
+        objective, count_s, count_l, sketch0 = self._objective_and_counts(rng, 0.8)
+        outcome = IterativeModulator(config).run(
+            objective, sketch0, count_s=count_s, count_l=count_l
+        )
+        assert outcome.converged
+        assert abs(outcome.final_d) <= config.threshold
+        assert outcome.l_estimate == pytest.approx(outcome.sketch, abs=2 * config.threshold)
+
+    def test_iteration_count_matches_analytic_bound(self, rng):
+        config = ISLAConfig()
+        objective, count_s, count_l, sketch0 = self._objective_and_counts(rng, 0.8)
+        modulator = IterativeModulator(config)
+        outcome = modulator.run(objective, sketch0, count_s=count_s, count_l=count_l)
+        assert outcome.iterations <= modulator.expected_iterations(outcome.initial_d) + 1
+
+    def test_estimate_corrects_towards_truth(self, rng):
+        """A strongly biased sketch should be pulled towards the true mean 100."""
+        config = ISLAConfig()
+        objective, count_s, count_l, sketch0 = self._objective_and_counts(rng, 1.0)
+        outcome = IterativeModulator(config).run(
+            objective, sketch0, count_s=count_s, count_l=count_l
+        )
+        assert abs(outcome.estimate - 100.0) < abs(sketch0 - 100.0)
+
+    def test_balanced_case_returns_sketch(self):
+        objective = ObjectiveFunction(k=1.0, c=5.0)
+        outcome = IterativeModulator(ISLAConfig()).run(
+            objective, 5.0, case=ModulationCase.BALANCED
+        )
+        assert outcome.estimate == 5.0
+        assert outcome.iterations == 0
+
+    def test_zero_k_still_converges(self):
+        config = ISLAConfig()
+        objective = ObjectiveFunction(k=0.0, c=10.0)
+        outcome = IterativeModulator(config).run(
+            objective, 11.0, case=ModulationCase.TOWARD_EACH_OTHER_DOWN
+        )
+        assert outcome.converged
+        assert outcome.alpha == 0.0
+
+    def test_trace_is_recorded_when_requested(self, rng):
+        config = ISLAConfig()
+        objective, count_s, count_l, sketch0 = self._objective_and_counts(rng, 0.6)
+        outcome = IterativeModulator(config, keep_trace=True).run(
+            objective, sketch0, count_s=count_s, count_l=count_l
+        )
+        assert len(outcome.trace) == outcome.iterations
+        d_values = [abs(record.d_value) for record in outcome.trace]
+        assert all(d_values[i + 1] <= d_values[i] + 1e-12 for i in range(len(d_values) - 1))
+
+    def test_requires_case_or_counts(self):
+        objective = ObjectiveFunction(k=1.0, c=5.0)
+        with pytest.raises(EstimationError):
+            IterativeModulator(ISLAConfig()).run(objective, 4.0)
+
+    def test_non_convergence_raises(self):
+        config = ISLAConfig(max_iterations=1, threshold=1e-12)
+        objective = ObjectiveFunction(k=1.0, c=10.0)
+        with pytest.raises(ConvergenceError):
+            IterativeModulator(config).run(
+                objective, 0.0, case=ModulationCase.TOWARD_EACH_OTHER_UP
+            )

@@ -1,0 +1,85 @@
+"""Unit tests for probabilities (Eq. 2) and Theorem 3's closed form."""
+
+import numpy as np
+import pytest
+
+from repro.core.accumulators import RegionMoments
+from repro.core.objective import ObjectiveFunction, leverage_coefficients
+from repro.core.probability import leverage_based_average, reweighted_probabilities
+from repro.errors import EstimationError
+
+
+class TestProbabilities:
+    def test_probabilities_sum_to_one_for_any_alpha(self, rng):
+        leverages = rng.dirichlet(np.ones(25))
+        for alpha in (0.0, 0.1, 0.5, 0.9):
+            probabilities = reweighted_probabilities(leverages, alpha)
+            assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_alpha_zero_is_uniform(self):
+        leverages = np.array([0.7, 0.2, 0.1])
+        assert reweighted_probabilities(leverages, 0.0) == pytest.approx([1 / 3] * 3)
+
+    def test_alpha_one_is_pure_leverage(self):
+        leverages = np.array([0.7, 0.2, 0.1])
+        assert reweighted_probabilities(leverages, 1.0) == pytest.approx(leverages)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            reweighted_probabilities(np.empty(0), 0.5)
+
+    def test_paper_example_1_answer(self):
+        """Section IV-B / Table II: S={4,5}, L={8}, alpha=0.1 gives ~5.67."""
+        estimate, prob_s, prob_l = leverage_based_average(
+            np.array([4.0, 5.0]), np.array([8.0]), alpha=0.1
+        )
+        assert estimate == pytest.approx(5.665, abs=0.01)
+        assert prob_s.sum() + prob_l.sum() == pytest.approx(1.0)
+
+
+class TestTheorem3:
+    def test_c_is_mean_of_participating_samples(self, rng):
+        s = rng.uniform(60, 90, size=40)
+        l = rng.uniform(110, 140, size=60)
+        _, c = leverage_coefficients(RegionMoments.from_values(s),
+                                     RegionMoments.from_values(l))
+        assert c == pytest.approx(np.concatenate([s, l]).mean())
+
+    @pytest.mark.parametrize("alpha", [-0.3, 0.0, 0.1, 0.25, 0.6, 1.0])
+    @pytest.mark.parametrize("q", [0.1, 0.2, 1.0, 5.0])
+    def test_closed_form_matches_explicit_computation(self, rng, alpha, q):
+        """kα + c must equal the per-sample computation of Appendix A."""
+        s = rng.uniform(60, 90, size=35)
+        l = rng.uniform(110, 140, size=55)
+        objective = ObjectiveFunction.from_moments(
+            RegionMoments.from_values(s), RegionMoments.from_values(l), q=q
+        )
+        explicit, _, _ = leverage_based_average(s, l, alpha=alpha, q=q)
+        assert objective.l_estimator(alpha) == pytest.approx(explicit, rel=1e-9)
+
+    def test_paper_example_1_at_alpha_0_1(self):
+        objective = ObjectiveFunction.from_moments(
+            RegionMoments.from_values([4.0, 5.0]), RegionMoments.from_values([8.0])
+        )
+        assert objective.c == pytest.approx(17.0 / 3.0)
+        assert objective.l_estimator(0.1) == pytest.approx(5.665, abs=0.01)
+
+    def test_initial_value_and_alpha_solver(self):
+        objective = ObjectiveFunction(k=2.0, c=10.0)
+        assert objective.initial_value(9.0) == pytest.approx(1.0)
+        assert objective.value(0.5, 9.0) == pytest.approx(2.0)
+        assert objective.alpha_for_target(12.0) == pytest.approx(1.0)
+
+    def test_alpha_solver_rejects_zero_k(self):
+        with pytest.raises(EstimationError):
+            ObjectiveFunction(k=0.0, c=1.0).alpha_for_target(2.0)
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(EstimationError):
+            leverage_coefficients(RegionMoments(), RegionMoments.from_values([1.0]))
+
+    def test_invalid_q_rejected(self):
+        s = RegionMoments.from_values([1.0])
+        l = RegionMoments.from_values([2.0])
+        with pytest.raises(EstimationError):
+            leverage_coefficients(s, l, q=0.0)

@@ -1,0 +1,141 @@
+"""Tests for the experiment harness, runners and CLI (at a reduced scale)."""
+
+import pytest
+
+from repro.experiments import ablations, figures, runtime, tables
+from repro.experiments.cli import main
+from repro.experiments.harness import ExperimentResult, compare_methods
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.core.config import ISLAConfig
+from repro.errors import ConfigurationError
+
+#: small sizes so the whole module runs in seconds
+SMALL = dict(data_size=60_000, datasets=2, seed=1)
+
+
+class TestHarness:
+    def test_result_rendering(self):
+        result = ExperimentResult("x", "A title", columns=["a", "b"])
+        result.add_row("row1", a=1.0, b=2.0)
+        result.add_row("row2", a=3.0)
+        text = result.to_text()
+        assert "A title" in text
+        assert "row1" in text and "row2" in text
+        assert result.column_values("a") == [1.0, 3.0]
+        assert result.column_values("b") == [2.0]
+
+    def test_compare_methods_includes_truth(self, normal_store):
+        comparison = compare_methods(
+            ["US", "MV"], normal_store, ISLAConfig(precision=0.5), seed=0
+        )
+        assert set(comparison.answers) == {"US", "MV"}
+        assert comparison.error("US") < comparison.error("MV")
+
+
+class TestRunners:
+    def test_fig6a(self):
+        result = figures.run_fig6a_precision(
+            precisions=(0.1, 0.2), data_size=60_000, datasets=2, seed=1
+        )
+        assert len(result.rows) == 2
+        for answer in result.column_values("dataset1"):
+            assert answer == pytest.approx(100.0, abs=1.0)
+
+    def test_fig6c_blocks(self):
+        result = figures.run_fig6c_blocks(
+            block_counts=(4, 8), data_size=60_000, datasets=2, seed=1
+        )
+        assert [row.label for row in result.rows] == ["b=4", "b=8"]
+
+    def test_varying_data_size(self):
+        result = figures.run_varying_data_size(sizes=(30_000, 60_000), seed=1)
+        errors = result.column_values("abs_error")
+        assert all(error < 1.0 for error in errors)
+
+    def test_table3_shape(self):
+        result = tables.run_table3_accuracy(**SMALL)
+        # The last row is the average; MV should sit near 104, ISLA near 100.
+        average = result.rows[-1].values
+        assert average["MV"] == pytest.approx(104.0, abs=1.5)
+        assert average["ISLA"] == pytest.approx(100.0, abs=0.5)
+        assert average["ISLA"] < average["MVB"] < average["MV"]
+
+    def test_table5_isla_uses_less_budget_and_meets_precision(self):
+        result = tables.run_table5_uniform_stratified(**SMALL)
+        for row in result.rows:
+            assert row.values["ISLA_error"] <= 1.5  # e = 0.5 with slack for noise
+
+    def test_table4_partial_answers(self):
+        result = tables.run_table4_modulation(data_size=60_000, seed=1)
+        assert len(result.rows) == 10
+        for row in result.rows:
+            assert row.values["ISLA_partial"] == pytest.approx(100.0, abs=1.5)
+
+    def test_table6_exponential_ordering(self):
+        result = tables.run_table6_exponential(
+            rates=(0.1, 0.2), data_size=60_000, seed=1
+        )
+        for row in result.rows:
+            truth = row.values["accurate"]
+            assert abs(row.values["ISLA"] - truth) < abs(row.values["MV"] - truth)
+
+    def test_table7_uniform_ordering(self):
+        result = tables.run_table7_uniform(datasets=2, data_size=60_000, seed=1)
+        for row in result.rows:
+            assert abs(row.values["ISLA"] - 100.0) < abs(row.values["MV"] - 100.0)
+            assert abs(row.values["ISLA"] - 100.0) < abs(row.values["MVB"] - 100.0)
+
+    def test_noniid_runner(self):
+        result = tables.run_noniid(rows_per_block=20_000, runs=2, seed=1)
+        for row in result.rows:
+            assert row.values["abs_error"] < 1.5
+
+    def test_real_data_runner(self):
+        result = tables.run_real_data(salary_rows=40_000, trip_rows=40_000, seed=1)
+        assert {row.label for row in result.rows} == {"salary", "tlc_trip"}
+        for row in result.rows:
+            truth = row.values["truth"]
+            assert abs(row.values["ISLA"] - truth) < abs(row.values["MV"] - truth)
+
+    def test_runtime_runner(self):
+        result = runtime.run_runtime_comparison(rows=50_000, repetitions=1, seed=1)
+        methods = [row.label for row in result.rows]
+        assert methods == ["ISLA", "MV", "MVB", "US", "STS"]
+        assert all(row.values["total_seconds"] > 0 for row in result.rows)
+
+    def test_alpha_ablation(self):
+        result = ablations.run_alpha_ablation(
+            alphas=(0.0, 0.5), data_size=60_000, datasets=2, seed=1
+        )
+        assert "ISLA_iterative" in result.columns
+
+    def test_q_ablation(self):
+        result = ablations.run_q_ablation(
+            sketch_biases=(-0.5, 0.5), data_size=60_000, seed=1
+        )
+        assert len(result.rows) == 2
+
+
+class TestRegistryAndCli:
+    def test_registry_contains_every_paper_artifact(self):
+        for key in ("fig6a", "fig6b", "fig6c", "fig6d", "table3", "table4",
+                    "table5", "table6", "table7", "noniid", "realdata", "runtime"):
+            assert key in EXPERIMENTS
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("nope")
+
+    def test_list_experiments_descriptions(self):
+        descriptions = list_experiments()
+        assert descriptions["table3"].startswith("Table III")
+
+    def test_cli_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+
+    def test_cli_runs_one_experiment(self, capsys):
+        assert main(["table7", "--data-size", "30000", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table VII" in out

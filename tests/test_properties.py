@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These cover the invariants the paper relies on:
+
+* leverage normalisation always satisfies Constraints 1 and 2;
+* the re-weighted probabilities of Eq. 2 always sum to one;
+* Theorem 3's closed form agrees with the explicit per-sample computation
+  for arbitrary S/L samples, alpha and q;
+* the objective value halves per iteration and the iteration count obeys the
+  analytic bound;
+* region accumulators are order- and batching-insensitive;
+* the summarization step is a convex combination of the partial answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.accumulators import RegionMoments
+from repro.core.config import ISLAConfig
+from repro.core.leverage import LeverageNormalizer, theoretical_leverage_sums
+from repro.core.modulation import (
+    IterativeModulator,
+    ModulationCase,
+    plan_step,
+)
+from repro.core.objective import ObjectiveFunction
+from repro.core.probability import leverage_based_average, reweighted_probabilities
+from repro.core.summarization import combine_partial_means
+
+#: strategy for a plausible S-region sample (positive, bounded values)
+s_values_strategy = st.lists(
+    st.floats(min_value=1.0, max_value=99.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=40,
+)
+#: strategy for a plausible L-region sample
+l_values_strategy = st.lists(
+    st.floats(min_value=101.0, max_value=400.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=40,
+)
+q_strategy = st.floats(min_value=0.05, max_value=20.0, allow_nan=False)
+alpha_strategy = st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
+
+
+@given(s=s_values_strategy, l=l_values_strategy, q=q_strategy)
+@settings(max_examples=60, deadline=None)
+def test_leverage_constraints_hold_for_any_sample(s, l, q):
+    normalizer = LeverageNormalizer(np.array(s), np.array(l), q=q)
+    sum_s, sum_l = normalizer.leverage_sums()
+    target_s, target_l = theoretical_leverage_sums(len(s), len(l), q)
+    assert sum_s + sum_l == pytest.approx(1.0, abs=1e-9)
+    assert sum_s == pytest.approx(target_s, abs=1e-9)
+    assert sum_l == pytest.approx(target_l, abs=1e-9)
+
+
+@given(s=s_values_strategy, l=l_values_strategy, alpha=alpha_strategy)
+@settings(max_examples=60, deadline=None)
+def test_probabilities_always_sum_to_one(s, l, alpha):
+    normalizer = LeverageNormalizer(np.array(s), np.array(l))
+    norm_s, norm_l = normalizer.normalized()
+    probabilities = reweighted_probabilities(np.concatenate([norm_s, norm_l]), alpha)
+    assert probabilities.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+@given(s=s_values_strategy, l=l_values_strategy, alpha=alpha_strategy, q=q_strategy)
+@settings(max_examples=60, deadline=None)
+def test_theorem3_matches_explicit_computation(s, l, alpha, q):
+    param_s = RegionMoments.from_values(s)
+    param_l = RegionMoments.from_values(l)
+    objective = ObjectiveFunction.from_moments(param_s, param_l, q=q)
+    explicit, _, _ = leverage_based_average(np.array(s), np.array(l), alpha=alpha, q=q)
+    assert objective.l_estimator(alpha) == pytest.approx(explicit, rel=1e-7, abs=1e-7)
+
+
+@given(
+    case=st.sampled_from([
+        ModulationCase.TOWARD_EACH_OTHER_DOWN,
+        ModulationCase.TOWARD_EACH_OTHER_UP,
+        ModulationCase.UNBALANCED_INCREASE,
+        ModulationCase.UNBALANCED_DECREASE,
+    ]),
+    d=st.floats(min_value=0.01, max_value=50.0, allow_nan=False),
+    lam=st.floats(min_value=0.05, max_value=0.95, allow_nan=False),
+    eta=st.floats(min_value=0.1, max_value=0.9, allow_nan=False),
+)
+@settings(max_examples=80, deadline=None)
+def test_plan_step_always_achieves_the_geometric_target(case, d, lam, eta):
+    # D must carry the sign the case expects.
+    signed_d = -d if case in (ModulationCase.TOWARD_EACH_OTHER_DOWN,
+                              ModulationCase.UNBALANCED_INCREASE) else d
+    delta_lest, delta_sketch = plan_step(case, signed_d, lam, eta)
+    assert signed_d + delta_lest - delta_sketch == pytest.approx(eta * signed_d, rel=1e-9)
+
+
+@given(
+    k=st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+    c=st.floats(min_value=50.0, max_value=150.0, allow_nan=False),
+    sketch0=st.floats(min_value=50.0, max_value=150.0, allow_nan=False),
+    counts=st.tuples(st.integers(min_value=10, max_value=5_000),
+                     st.integers(min_value=10, max_value=5_000)),
+)
+@settings(max_examples=60, deadline=None)
+def test_iteration_converges_and_obeys_the_bound(k, c, sketch0, counts):
+    assume(abs(c - sketch0) > 1e-6)
+    config = ISLAConfig()
+    objective = ObjectiveFunction(k=k, c=c)
+    modulator = IterativeModulator(config)
+    outcome = modulator.run(objective, sketch0, count_s=counts[0], count_l=counts[1])
+    assert outcome.converged
+    if outcome.case is not ModulationCase.BALANCED:
+        assert abs(outcome.final_d) <= config.threshold
+        assert outcome.iterations <= modulator.expected_iterations(c - sketch0) + 1
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=200,
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=50, deadline=None)
+def test_region_moments_are_order_and_batching_insensitive(values, seed):
+    array = np.asarray(values, dtype=float)
+    permuted = np.random.default_rng(seed).permutation(array)
+    split = np.random.default_rng(seed).integers(0, array.size + 1)
+    direct = RegionMoments.from_values(array)
+    shuffled = RegionMoments.from_values(permuted)
+    merged = RegionMoments.from_values(array[:split])
+    merged.merge(RegionMoments.from_values(array[split:]))
+    for a, b in ((direct, shuffled), (direct, merged)):
+        assert a.count == b.count
+        assert a.total == pytest.approx(b.total, rel=1e-9, abs=1e-6)
+        assert a.square_sum == pytest.approx(b.square_sum, rel=1e-9, abs=1e-6)
+        assert a.cube_sum == pytest.approx(b.cube_sum, rel=1e-7, abs=1e-4)
+
+
+@given(
+    estimates=st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                       min_size=1, max_size=20),
+    sizes=st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_summarization_is_a_convex_combination(estimates, sizes):
+    length = min(len(estimates), len(sizes))
+    estimates, sizes = estimates[:length], sizes[:length]
+    combined = combine_partial_means(estimates, sizes)
+    assert min(estimates) - 1e-9 <= combined <= max(estimates) + 1e-9

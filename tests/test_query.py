@@ -1,0 +1,126 @@
+"""Unit and integration tests for the query front-end."""
+
+import pytest
+
+from repro.core.result import AggregateResult
+from repro.errors import QueryPlanError, QuerySyntaxError, UnknownTableError
+from repro.query.ast import AggregateQuery
+from repro.query.engine import AQPEngine
+from repro.query.parser import parse_query, tokenize
+
+
+class TestTokenizer:
+    def test_splits_words_numbers_punctuation(self):
+        tokens = tokenize("SELECT AVG(value) FROM t PRECISION 0.1")
+        assert tokens == ["SELECT", "AVG", "(", "value", ")", "FROM", "t",
+                          "PRECISION", "0.1"]
+
+    def test_scientific_notation(self):
+        assert tokenize("PRECISION 1e-3") == ["PRECISION", "1e-3"]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("SELECT @#!")
+
+
+class TestParser:
+    def test_minimal_query_defaults(self):
+        query = parse_query("SELECT AVG(price) FROM orders")
+        assert query.aggregate == "avg"
+        assert query.column == "price"
+        assert query.table == "orders"
+        assert query.precision == 0.1
+        assert query.confidence == 0.95
+        assert query.method == "ISLA"
+
+    def test_full_query(self):
+        query = parse_query(
+            "SELECT SUM(amount) FROM sales WHERE PRECISION 0.25 "
+            "CONFIDENCE 0.99 METHOD US TIME 500;"
+        )
+        assert query.aggregate == "sum"
+        assert query.precision == 0.25
+        assert query.confidence == 0.99
+        assert query.method == "US"
+        assert query.time_budget_ms == 500
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select avg(x) from t precision 0.2 method mvb")
+        assert query.method == "MVB"
+
+    def test_describe_round_trips(self):
+        query = parse_query("SELECT AVG(x) FROM t PRECISION 0.3 METHOD STS")
+        assert parse_query(query.describe()) == query
+
+    @pytest.mark.parametrize(
+        "statement",
+        [
+            "",
+            "SELECT FROM t",
+            "SELECT MEDIAN(x) FROM t",
+            "SELECT AVG(x) t",
+            "SELECT AVG(x) FROM t PRECISION abc",
+            "SELECT AVG(x) FROM t METHOD GUESS",
+            "SELECT AVG(x) FROM t FROBNICATE 3",
+            "SELECT AVG(x) FROM t PRECISION -0.5",
+        ],
+    )
+    def test_rejects_invalid_statements(self, statement):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(statement)
+
+    def test_ast_validation(self):
+        with pytest.raises(QuerySyntaxError):
+            AggregateQuery(aggregate="avg", column="x", table="t", confidence=2.0)
+
+
+class TestEngine:
+    @pytest.fixture
+    def engine(self, normal_values):
+        engine = AQPEngine(seed=5)
+        engine.register_array("readings", normal_values, block_count=10)
+        return engine
+
+    def test_register_and_list_tables(self, engine):
+        assert engine.tables == ("readings",)
+
+    def test_explain(self, engine):
+        text = engine.explain("SELECT AVG(value) FROM readings PRECISION 0.5")
+        assert "readings" in text and "ISLA" in text
+
+    def test_isla_execution(self, engine, normal_values):
+        result = engine.execute("SELECT AVG(value) FROM readings PRECISION 0.5")
+        assert result.method == "ISLA"
+        assert result.value == pytest.approx(normal_values.mean(), abs=0.5)
+        assert isinstance(result.raw, AggregateResult)
+
+    def test_sum_execution(self, engine, normal_values):
+        result = engine.execute("SELECT SUM(value) FROM readings PRECISION 0.5")
+        assert result.value == pytest.approx(normal_values.sum(), rel=0.01)
+
+    @pytest.mark.parametrize("method", ["US", "STS", "MV", "MVB", "EBS", "BILEVEL", "BLOCK"])
+    def test_baseline_methods_execute(self, engine, method):
+        result = engine.execute(
+            f"SELECT AVG(value) FROM readings PRECISION 0.5 METHOD {method}"
+        )
+        assert result.method == method
+        assert result.sample_size > 0
+
+    def test_exact_method(self, engine, normal_values):
+        result = engine.execute("SELECT AVG(value) FROM readings METHOD EXACT")
+        assert result.value == pytest.approx(normal_values.mean(), rel=1e-12)
+
+    def test_time_budget_execution(self, engine):
+        result = engine.execute(
+            "SELECT AVG(value) FROM readings PRECISION 0.5 TIME 500"
+        )
+        assert result.sample_size > 0
+        assert result.details["time_budget_ms"] == 500
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(UnknownTableError):
+            engine.execute("SELECT AVG(value) FROM ghost PRECISION 0.5")
+
+    def test_unknown_column_is_a_plan_error(self, engine):
+        with pytest.raises(QueryPlanError):
+            engine.execute("SELECT AVG(missing) FROM readings PRECISION 0.5")

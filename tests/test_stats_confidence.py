@@ -1,0 +1,107 @@
+"""Unit tests for repro.stats.confidence (Eq. 1 and Definition 1)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.confidence import (
+    ConfidenceInterval,
+    confidence_interval,
+    half_width,
+    normal_quantile,
+    required_sample_size,
+    required_sampling_rate,
+)
+
+
+class TestNormalQuantile:
+    def test_95_percent_quantile(self):
+        assert normal_quantile(0.95) == pytest.approx(1.959964, abs=1e-5)
+
+    def test_99_percent_quantile(self):
+        assert normal_quantile(0.99) == pytest.approx(2.575829, abs=1e-5)
+
+    def test_monotone_in_confidence(self):
+        assert normal_quantile(0.8) < normal_quantile(0.9) < normal_quantile(0.99)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 1.5])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ConfigurationError):
+            normal_quantile(bad)
+
+
+class TestRequiredSampleSize:
+    def test_paper_default_parameters(self):
+        # sigma=20, e=0.1, beta=0.95: m = (1.96*20/0.1)^2 ~= 153,658.
+        m = required_sample_size(20.0, 0.1, 0.95)
+        assert 153_000 < m < 154_500
+
+    def test_scales_with_sigma_squared(self):
+        base = required_sample_size(10.0, 0.5, 0.95)
+        quadrupled = required_sample_size(20.0, 0.5, 0.95)
+        assert quadrupled == pytest.approx(4 * base, rel=0.01)
+
+    def test_scales_inverse_with_precision_squared(self):
+        loose = required_sample_size(20.0, 0.2, 0.95)
+        tight = required_sample_size(20.0, 0.1, 0.95)
+        assert tight == pytest.approx(4 * loose, rel=0.01)
+
+    def test_zero_sigma_needs_one_sample(self):
+        assert required_sample_size(0.0, 0.1, 0.95) == 1
+
+    def test_rejects_non_positive_precision(self):
+        with pytest.raises(ConfigurationError):
+            required_sample_size(20.0, 0.0, 0.95)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            required_sample_size(-1.0, 0.1, 0.95)
+
+
+class TestRequiredSamplingRate:
+    def test_rate_is_sample_size_over_population(self):
+        m = required_sample_size(20.0, 0.1, 0.95)
+        rate = required_sampling_rate(20.0, 0.1, 0.95, 1_000_000)
+        assert rate == pytest.approx(m / 1_000_000)
+
+    def test_rate_capped_at_one(self):
+        assert required_sampling_rate(20.0, 0.001, 0.95, 100) == 1.0
+
+    def test_rejects_non_positive_population(self):
+        with pytest.raises(ConfigurationError):
+            required_sampling_rate(20.0, 0.1, 0.95, 0)
+
+
+class TestHalfWidth:
+    def test_matches_definition(self):
+        # u * sigma / sqrt(m)
+        expected = normal_quantile(0.95) * 20.0 / math.sqrt(10_000)
+        assert half_width(20.0, 10_000, 0.95) == pytest.approx(expected)
+
+    def test_round_trip_with_sample_size(self):
+        m = required_sample_size(20.0, 0.1, 0.95)
+        assert half_width(20.0, m, 0.95) <= 0.1 + 1e-9
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ConfigurationError):
+            half_width(20.0, 0, 0.95)
+
+
+class TestConfidenceInterval:
+    def test_interval_bounds_and_width(self):
+        interval = ConfidenceInterval(center=10.0, radius=0.5, confidence=0.95)
+        assert interval.low == 9.5
+        assert interval.high == 10.5
+        assert interval.width == pytest.approx(1.0)
+
+    def test_contains_is_inclusive(self):
+        interval = ConfidenceInterval(center=0.0, radius=1.0, confidence=0.9)
+        assert interval.contains(1.0)
+        assert interval.contains(-1.0)
+        assert not interval.contains(1.0001)
+
+    def test_factory_uses_half_width(self):
+        interval = confidence_interval(mean=5.0, sigma=2.0, sample_size=400, confidence=0.95)
+        assert interval.center == 5.0
+        assert interval.radius == pytest.approx(half_width(2.0, 400, 0.95))

@@ -1,0 +1,44 @@
+"""Unit tests for the descriptive distribution summaries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyDataError
+from repro.stats.distributions import summarize
+
+
+class TestSummarize:
+    def test_normal_sample_summary(self, rng):
+        values = rng.normal(100.0, 20.0, size=100_000)
+        summary = summarize(values)
+        assert summary.count == 100_000
+        assert summary.mean == pytest.approx(100.0, abs=0.5)
+        assert summary.std == pytest.approx(20.0, rel=0.02)
+        assert abs(summary.skewness) < 0.05
+        assert abs(summary.kurtosis) < 0.1
+        assert summary.p25 < summary.median < summary.p75
+        assert not summary.is_heavily_skewed()
+
+    def test_exponential_sample_is_skewed(self, rng):
+        values = rng.exponential(10.0, size=50_000)
+        summary = summarize(values)
+        assert summary.skewness == pytest.approx(2.0, abs=0.3)
+        assert summary.is_heavily_skewed()
+
+    def test_constant_sample(self):
+        summary = summarize(np.full(10, 7.0))
+        assert summary.std == 0.0
+        assert summary.skewness == 0.0
+        assert summary.coefficient_of_variation == 0.0
+
+    def test_zero_mean_has_infinite_cv(self):
+        summary = summarize([-1.0, 1.0])
+        assert summary.coefficient_of_variation == float("inf")
+
+    def test_iqr(self):
+        summary = summarize(np.arange(101, dtype=float))
+        assert summary.iqr == pytest.approx(50.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyDataError):
+            summarize([])

@@ -1,0 +1,84 @@
+"""Unit tests for the classical estimators used by the baselines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.stats.estimators import (
+    hansen_hurwitz_mean,
+    population_total,
+    trimmed_mean,
+    weighted_mean,
+)
+
+
+class TestWeightedMean:
+    def test_equal_weights_is_plain_mean(self):
+        assert weighted_mean([1, 2, 3, 4], [1, 1, 1, 1]) == pytest.approx(2.5)
+
+    def test_weights_need_not_be_normalised(self):
+        assert weighted_mean([10, 20], [2, 6]) == pytest.approx(17.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EstimationError):
+            weighted_mean([], [])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(EstimationError):
+            weighted_mean([1, 2], [1])
+
+    def test_rejects_zero_weight_sum(self):
+        with pytest.raises(EstimationError):
+            weighted_mean([1, 2], [0, 0])
+
+
+class TestHansenHurwitz:
+    def test_uniform_probabilities_reduce_to_sample_mean(self, rng):
+        population = rng.normal(50, 5, size=1_000)
+        indices = rng.integers(0, 1_000, size=200)
+        probs = np.full(200, 1.0 / 1_000)
+        estimate = hansen_hurwitz_mean(population[indices], probs, population_size=1_000)
+        assert estimate == pytest.approx(population[indices].mean(), rel=1e-9)
+
+    def test_unbiased_under_pps(self, rng):
+        # Probability-proportional-to-size sampling of a known population.
+        population = rng.uniform(1.0, 10.0, size=500)
+        probabilities = population / population.sum()
+        estimates = []
+        for seed in range(200):
+            local = np.random.default_rng(seed)
+            draws = local.choice(500, size=50, replace=True, p=probabilities)
+            estimates.append(
+                hansen_hurwitz_mean(population[draws], probabilities[draws], 500)
+            )
+        assert np.mean(estimates) == pytest.approx(population.mean(), rel=0.02)
+
+    def test_rejects_zero_probability(self):
+        with pytest.raises(EstimationError):
+            hansen_hurwitz_mean([1.0], [0.0], 10)
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(EstimationError):
+            hansen_hurwitz_mean([], [], 10)
+
+
+class TestTrimmedMean:
+    def test_no_trim_is_plain_mean(self):
+        assert trimmed_mean([1, 2, 3, 100], proportion=0.0) == pytest.approx(26.5)
+
+    def test_trimming_removes_outliers(self):
+        values = list(range(100)) + [10_000]
+        assert trimmed_mean(values, proportion=0.05) < 60
+
+    def test_rejects_half_or_more(self):
+        with pytest.raises(EstimationError):
+            trimmed_mean([1, 2, 3], proportion=0.5)
+
+
+class TestPopulationTotal:
+    def test_sum_is_mean_times_size(self):
+        assert population_total(2.5, 1000) == pytest.approx(2500.0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(EstimationError):
+            population_total(1.0, -1)

@@ -1,0 +1,90 @@
+"""Unit tests for the streaming moment accumulators."""
+
+import numpy as np
+import pytest
+
+from repro.stats.moments import RunningMoments, StreamingMoments
+
+
+class TestRunningMoments:
+    def test_matches_numpy_mean_and_variance(self, rng):
+        values = rng.normal(5.0, 2.0, size=5_000)
+        moments = RunningMoments()
+        for value in values[:100]:
+            moments.update(float(value))
+        moments.update_many(values[100:])
+        assert moments.count == values.size
+        assert moments.mean == pytest.approx(values.mean(), rel=1e-9)
+        assert moments.variance == pytest.approx(values.var(), rel=1e-9)
+        assert moments.std == pytest.approx(values.std(), rel=1e-9)
+        assert moments.minimum == values.min()
+        assert moments.maximum == values.max()
+
+    def test_merge_equals_single_pass(self, rng):
+        left = rng.uniform(0, 10, size=1_000)
+        right = rng.uniform(5, 25, size=2_000)
+        merged = RunningMoments.from_values(left)
+        merged.merge(RunningMoments.from_values(right))
+        combined = np.concatenate([left, right])
+        assert merged.count == combined.size
+        assert merged.mean == pytest.approx(combined.mean(), rel=1e-9)
+        assert merged.variance == pytest.approx(combined.var(), rel=1e-9)
+
+    def test_merge_into_empty(self):
+        target = RunningMoments()
+        target.merge(RunningMoments.from_values([1.0, 2.0, 3.0]))
+        assert target.count == 3
+        assert target.mean == pytest.approx(2.0)
+
+    def test_empty_defaults(self):
+        moments = RunningMoments()
+        assert moments.count == 0
+        assert moments.variance == 0.0
+        assert moments.sample_variance == 0.0
+
+    def test_sample_variance_uses_n_minus_one(self):
+        moments = RunningMoments.from_values([1.0, 3.0])
+        assert moments.sample_variance == pytest.approx(2.0)
+        assert moments.variance == pytest.approx(1.0)
+
+
+class TestStreamingMoments:
+    def test_power_sums_match_numpy(self, rng):
+        values = rng.normal(0.0, 3.0, size=2_000)
+        moments = StreamingMoments.from_values(values)
+        assert moments.count == values.size
+        assert moments.total == pytest.approx(values.sum())
+        assert moments.square_sum == pytest.approx((values ** 2).sum())
+        assert moments.cube_sum == pytest.approx((values ** 3).sum())
+        assert moments.mean == pytest.approx(values.mean())
+        assert moments.variance == pytest.approx(values.var(), rel=1e-6)
+
+    def test_single_updates_equal_batch(self, rng):
+        values = rng.uniform(-5, 5, size=500)
+        one_by_one = StreamingMoments()
+        for value in values:
+            one_by_one.update(float(value))
+        batch = StreamingMoments.from_values(values)
+        assert one_by_one.count == batch.count
+        assert one_by_one.total == pytest.approx(batch.total)
+        assert one_by_one.square_sum == pytest.approx(batch.square_sum)
+        assert one_by_one.cube_sum == pytest.approx(batch.cube_sum)
+
+    def test_merge_is_additive(self, rng):
+        a = StreamingMoments.from_values(rng.uniform(0, 1, size=300))
+        b = StreamingMoments.from_values(rng.uniform(0, 1, size=700))
+        merged = a.copy()
+        merged.merge(b)
+        assert merged.count == 1_000
+        assert merged.total == pytest.approx(a.total + b.total)
+        assert merged.cube_sum == pytest.approx(a.cube_sum + b.cube_sum)
+
+    def test_empty_mean_is_zero(self):
+        assert StreamingMoments().mean == 0.0
+
+    def test_copy_is_independent(self):
+        original = StreamingMoments.from_values([1.0, 2.0])
+        clone = original.copy()
+        clone.update(10.0)
+        assert original.count == 2
+        assert clone.count == 3

@@ -1,0 +1,86 @@
+"""Unit tests for BlockStore."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyDataError, StorageError, UnknownColumnError
+from repro.storage.blockstore import BlockStore
+from repro.storage.table import Table
+
+
+class TestConstruction:
+    def test_from_array_even_blocks(self):
+        store = BlockStore.from_array("t", np.arange(1000.0), block_count=10)
+        assert store.block_count == 10
+        assert store.total_rows == 1000
+        assert all(block.size == 100 for block in store.blocks)
+
+    def test_from_array_uneven_division(self):
+        store = BlockStore.from_array("t", np.arange(103.0), block_count=10)
+        assert store.total_rows == 103
+        assert store.block_count == 10
+
+    def test_from_table_partitions_all_columns(self):
+        table = Table.from_mapping("t", {"a": np.arange(100.0), "b": np.arange(100.0) * 2})
+        store = BlockStore.from_table(table, block_count=4)
+        assert store.block_count == 4
+        assert store.has_column("a") and store.has_column("b")
+
+    def test_from_block_arrays(self):
+        store = BlockStore.from_block_arrays("t", [[1.0, 2.0], [3.0, 4.0, 5.0]])
+        assert store.block_count == 2
+        assert store.block_sizes().tolist() == [2.0, 3.0]
+
+    def test_blocks_sorted_by_id(self):
+        from repro.storage.block import Block
+
+        blocks = [Block.from_values(2, [1.0]), Block.from_values(0, [2.0]),
+                  Block.from_values(1, [3.0])]
+        store = BlockStore.from_blocks("t", blocks)
+        assert [b.block_id for b in store.blocks] == [0, 1, 2]
+
+
+class TestValidation:
+    def test_validate_default_column(self, small_store):
+        assert small_store.validate_column(None) == "value"
+
+    def test_validate_unknown_column(self, small_store):
+        with pytest.raises(UnknownColumnError):
+            small_store.validate_column("nope")
+
+    def test_empty_store_rejected(self):
+        store = BlockStore(name="empty")
+        with pytest.raises(EmptyDataError):
+            store.validate_column(None)
+
+
+class TestSampling:
+    def test_pilot_sample_size_roughly_proportional(self, small_store, rng):
+        pilot = small_store.pilot_sample(None, 400, rng)
+        assert 380 <= pilot.size <= 420
+
+    def test_pilot_sample_requires_positive_size(self, small_store, rng):
+        with pytest.raises(StorageError):
+            small_store.pilot_sample(None, 0, rng)
+
+    def test_uniform_sample_rate(self, small_store, rng):
+        sample = small_store.uniform_sample(None, 0.05, rng)
+        expected = 0.05 * small_store.total_rows
+        assert abs(sample.size - expected) <= small_store.block_count
+
+    def test_uniform_sample_invalid_rate(self, small_store, rng):
+        with pytest.raises(StorageError):
+            small_store.uniform_sample(None, 0.0, rng)
+        with pytest.raises(StorageError):
+            small_store.uniform_sample(None, 1.5, rng)
+
+    def test_exact_mean_and_sum(self):
+        values = np.arange(1.0, 101.0)
+        store = BlockStore.from_array("t", values, block_count=5)
+        assert store.exact_mean() == pytest.approx(50.5)
+        assert store.exact_sum() == pytest.approx(5050.0)
+
+    def test_full_column_concatenates_all_blocks(self):
+        values = np.arange(30.0)
+        store = BlockStore.from_array("t", values, block_count=3)
+        assert np.array_equal(np.sort(store.full_column()), values)

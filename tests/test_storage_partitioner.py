@@ -1,0 +1,77 @@
+"""Unit tests for the partitioning strategies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.partitioner import (
+    even_partition,
+    explicit_partition,
+    hash_partition,
+    sorted_partition,
+)
+
+
+class TestEvenPartition:
+    def test_preserves_all_rows_in_order(self):
+        values = np.arange(95.0)
+        blocks = even_partition(values, 10)
+        assert sum(block.size for block in blocks) == 95
+        reassembled = np.concatenate([block.column("value") for block in blocks])
+        assert np.array_equal(reassembled, values)
+
+    def test_block_ids_sequential(self):
+        blocks = even_partition(np.arange(10.0), 3)
+        assert [b.block_id for b in blocks] == [0, 1, 2]
+
+    def test_rejects_more_blocks_than_rows(self):
+        with pytest.raises(StorageError):
+            even_partition(np.arange(3.0), 5)
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(StorageError):
+            even_partition(np.empty(0), 2)
+
+
+class TestHashPartition:
+    def test_preserves_multiset(self):
+        values = np.arange(500.0)
+        blocks = hash_partition(values, 7, seed=1)
+        reassembled = np.sort(np.concatenate([b.column("value") for b in blocks]))
+        assert np.array_equal(reassembled, values)
+
+    def test_blocks_are_mixed_even_for_sorted_input(self):
+        values = np.arange(10_000.0)
+        blocks = hash_partition(values, 4, seed=0)
+        # Each block should span nearly the whole value range.
+        for block in blocks:
+            column = block.column("value")
+            assert column.min() < 1_000
+            assert column.max() > 9_000
+
+    def test_deterministic_for_seed(self):
+        values = np.arange(100.0)
+        first = hash_partition(values, 4, seed=9)
+        second = hash_partition(values, 4, seed=9)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.column("value"), b.column("value"))
+
+
+class TestSortedPartition:
+    def test_blocks_cover_disjoint_ranges(self):
+        values = np.random.default_rng(0).uniform(0, 1, size=1_000)
+        blocks = sorted_partition(values, 4)
+        maxima = [block.column("value").max() for block in blocks]
+        minima = [block.column("value").min() for block in blocks]
+        for i in range(3):
+            assert maxima[i] <= minima[i + 1]
+
+
+class TestExplicitPartition:
+    def test_each_chunk_becomes_a_block(self):
+        blocks = explicit_partition([[1.0], [2.0, 3.0], [4.0, 5.0, 6.0]])
+        assert [block.size for block in blocks] == [1, 2, 3]
+
+    def test_rejects_no_chunks(self):
+        with pytest.raises(StorageError):
+            explicit_partition([])

@@ -1,0 +1,81 @@
+"""Unit tests for text-file block I/O and the catalog."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError, UnknownTableError
+from repro.storage.blockstore import BlockStore
+from repro.storage.catalog import Catalog
+from repro.storage.textio import (
+    iter_block_file,
+    read_blocks_from_directory,
+    write_blocks_to_directory,
+)
+
+
+class TestTextIO:
+    def test_round_trip(self, tmp_path, rng):
+        values = rng.normal(10.0, 2.0, size=997)
+        store = BlockStore.from_array("t", values, block_count=4)
+        paths = write_blocks_to_directory(store, tmp_path)
+        assert len(paths) == 4
+        loaded = read_blocks_from_directory(tmp_path, name="loaded")
+        assert loaded.block_count == 4
+        assert loaded.total_rows == 997
+        assert loaded.exact_mean() == pytest.approx(store.exact_mean(), rel=1e-12)
+
+    def test_iter_block_file_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "block_0000.txt"
+        path.write_text("1.5\n\n2.5\n")
+        assert list(iter_block_file(path)) == [1.5, 2.5]
+
+    def test_invalid_value_raises(self, tmp_path):
+        path = tmp_path / "block_0000.txt"
+        path.write_text("not-a-number\n")
+        with pytest.raises(StorageError):
+            list(iter_block_file(path))
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(StorageError):
+            read_blocks_from_directory(tmp_path / "does-not-exist")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(StorageError):
+            read_blocks_from_directory(tmp_path)
+
+
+class TestCatalog:
+    def test_register_and_resolve_case_insensitive(self, small_store):
+        catalog = Catalog()
+        catalog.register(small_store)
+        assert "small" in catalog
+        assert catalog.resolve("SMALL") is small_store
+
+    def test_register_under_alias(self, small_store):
+        catalog = Catalog()
+        catalog.register(small_store, name="alias")
+        assert catalog.resolve("alias") is small_store
+
+    def test_unknown_table(self):
+        catalog = Catalog()
+        with pytest.raises(UnknownTableError):
+            catalog.resolve("ghost")
+
+    def test_unregister_is_idempotent(self, small_store):
+        catalog = Catalog()
+        catalog.register(small_store)
+        catalog.unregister("small")
+        catalog.unregister("small")
+        assert len(catalog) == 0
+
+    def test_table_names_sorted(self, small_store, normal_store):
+        catalog = Catalog()
+        catalog.register(normal_store)
+        catalog.register(small_store)
+        assert catalog.table_names == ("normal", "small")
+
+    def test_empty_name_rejected(self):
+        catalog = Catalog()
+        unnamed = BlockStore(name="")
+        with pytest.raises(StorageError):
+            catalog.register(unnamed)

@@ -1,0 +1,138 @@
+"""Unit tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import GeneratedData
+from repro.workloads.census import SalaryGenerator
+from repro.workloads.noniid import NonIIDWorkload, PAPER_NONIID_PARAMS
+from repro.workloads.registry import WORKLOADS, get_workload, register_workload
+from repro.workloads.synthetic import (
+    ExponentialWorkload,
+    LogNormalWorkload,
+    MixtureWorkload,
+    NormalWorkload,
+    ParetoWorkload,
+    UniformWorkload,
+)
+from repro.workloads.tlc import TripDistanceGenerator
+from repro.workloads.tpch import LineitemGenerator
+
+
+class TestSyntheticWorkloads:
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            NormalWorkload(50_000, mean=100, std=20, seed=0),
+            ExponentialWorkload(50_000, rate=0.1, seed=0),
+            UniformWorkload(50_000, low=1, high=199, seed=0),
+            LogNormalWorkload(50_000, mu=2.0, sigma=0.5, seed=0),
+            ParetoWorkload(50_000, shape=4.0, scale=10.0, seed=0),
+        ],
+    )
+    def test_empirical_moments_match_analytic(self, workload):
+        data = workload.generate()
+        assert data.size == 50_000
+        assert data.values.mean() == pytest.approx(workload.expected_mean(), rel=0.05)
+        assert data.values.std() == pytest.approx(workload.expected_std(), rel=0.10)
+
+    def test_same_seed_is_reproducible(self):
+        first = NormalWorkload(1_000, seed=5).generate()
+        second = NormalWorkload(1_000, seed=5).generate()
+        assert np.array_equal(first.values, second.values)
+
+    def test_seed_override_changes_data(self):
+        workload = NormalWorkload(1_000, seed=5)
+        assert not np.array_equal(workload.generate().values,
+                                  workload.generate(seed=6).values)
+
+    def test_generate_store_partitions(self):
+        store = NormalWorkload(10_000, seed=1).generate_store("t", block_count=5)
+        assert store.block_count == 5
+        assert store.total_rows == 10_000
+
+    def test_mixture_mean_and_std(self):
+        mixture = MixtureWorkload(
+            100_000,
+            components=[NormalWorkload(1, mean=0, std=1), NormalWorkload(1, mean=10, std=2)],
+            weights=[0.5, 0.5],
+            seed=2,
+        )
+        data = mixture.generate()
+        assert data.values.mean() == pytest.approx(5.0, abs=0.1)
+        assert data.values.std() == pytest.approx(mixture.expected_std(), rel=0.05)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NormalWorkload(0)
+        with pytest.raises(ConfigurationError):
+            ExponentialWorkload(10, rate=0.0)
+        with pytest.raises(ConfigurationError):
+            UniformWorkload(10, low=5, high=5)
+        with pytest.raises(ConfigurationError):
+            ParetoWorkload(10, shape=1.5)
+        with pytest.raises(ConfigurationError):
+            MixtureWorkload(10, components=[])
+
+
+class TestNonIIDWorkload:
+    def test_paper_blocks_structure(self):
+        workload = NonIIDWorkload.paper_blocks(rows_per_block=1_000)
+        assert len(workload.specs) == len(PAPER_NONIID_PARAMS) == 5
+        assert workload.total_rows == 5_000
+        assert workload.true_mean() == pytest.approx(100.0)
+
+    def test_generated_blocks_follow_their_distributions(self):
+        workload = NonIIDWorkload.paper_blocks(rows_per_block=20_000)
+        store = workload.generate_store(seed=3)
+        for block, (mean, std) in zip(store.blocks, PAPER_NONIID_PARAMS):
+            values = block.column("value")
+            assert values.mean() == pytest.approx(mean, rel=0.03)
+            assert values.std() == pytest.approx(std, rel=0.05)
+
+
+class TestSimulatedRealData:
+    def test_lineitem_columns_and_ranges(self):
+        table = LineitemGenerator(5_000, seed=1).generate_table()
+        quantity = table.column("l_quantity")
+        assert quantity.min() >= 1 and quantity.max() <= 50
+        assert table.column("l_discount").max() <= 0.10 + 1e-12
+        assert table.column("l_extendedprice").min() > 0
+        assert quantity.mean() == pytest.approx(
+            LineitemGenerator.expected_quantity_mean(), rel=0.05
+        )
+
+    def test_salary_generator_shape(self):
+        data = SalaryGenerator(rows=50_000, seed=1).generate()
+        assert isinstance(data, GeneratedData)
+        assert data.size == 50_000
+        zeros = float((data.values == 0).mean())
+        assert 0.4 < zeros < 0.7
+        assert data.values.min() >= 0.0
+        # Right-skew: mean well above the median.
+        assert data.values.mean() > np.median(data.values)
+
+    def test_trip_distance_generator_shape(self):
+        data = TripDistanceGenerator(rows=50_000, seed=1).generate()
+        assert data.size == 50_000
+        assert data.values.min() >= 0.0
+        # Scaled by 1000 and right-skewed.
+        assert data.values.mean() > np.median(data.values)
+        assert data.values.max() > 50_000
+
+
+class TestRegistry:
+    def test_known_workloads_instantiate(self):
+        for name in WORKLOADS:
+            workload = get_workload(name, size=1_000, seed=0)
+            assert workload.generate().size == 1_000
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("no-such-workload", size=10)
+
+    def test_register_new_workload(self):
+        register_workload("tiny-normal", lambda size, seed: NormalWorkload(size, seed=seed))
+        assert get_workload("tiny-normal", size=10, seed=1).generate().size == 10
+        WORKLOADS.pop("tiny-normal")
