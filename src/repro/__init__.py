@@ -8,6 +8,8 @@ The most common entry points are re-exported here::
 See README.md for a quickstart and DESIGN.md for the full system inventory.
 """
 
+from repro import obs
+from repro.obs import Telemetry
 from repro.core.config import ISLAConfig
 from repro.core.isla import ISLAAggregator
 from repro.core.result import AggregateResult, BlockResult
@@ -17,7 +19,7 @@ from repro.storage.catalog import Catalog
 from repro.query.engine import AQPEngine
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ISLAAggregator",
@@ -29,5 +31,7 @@ __all__ = [
     "Catalog",
     "AQPEngine",
     "ReproError",
+    "Telemetry",
+    "obs",
     "__version__",
 ]

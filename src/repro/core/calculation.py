@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.accumulators import RegionMoments
 from repro.core.boundaries import DataBoundaries
 from repro.core.config import ISLAConfig
@@ -54,10 +55,15 @@ def sampling_phase(
     param_l = RegionMoments()
     if sample_size <= 0 or block.size == 0:
         return param_s, param_l, 0
-    sample = block.sample_column(column, sample_size, rng)
-    s_values, l_values = boundaries.split_sl(sample)
-    param_s.update_many(s_values)
-    param_l.update_many(l_values)
+    with obs.span("sample.draw", block=block.block_id) as sp:
+        sample = block.sample_column(column, sample_size, rng)
+        s_values, l_values = boundaries.split_sl(sample)
+        param_s.update_many(s_values)
+        param_l.update_many(l_values)
+        sp.set_tag("rows", sample_size)
+        sp.set_tag("count_s", param_s.count)
+        sp.set_tag("count_l", param_l.count)
+    obs.counter("sample.rows", sample_size)
     return param_s, param_l, sample_size
 
 
@@ -90,6 +96,27 @@ def iteration_phase(
     final answer is clipped into ``sketch0 ± radius`` (the safeguard for
     extreme distributions discussed in Section VII-B).
     """
+    with obs.span("isla.iteration") as sp:
+        output = _iteration_phase(
+            param_s, param_l, sketch0, config, sketch_interval_radius
+        )
+        if sp.is_recording:
+            sp.set_tag("case", output.case.value)
+            sp.set_tag("iterations", output.iterations)
+            sp.set_tag("converged", output.converged)
+            if output.used_fallback:
+                sp.set_tag("fallback", output.fallback_reason)
+            obs.counter("isla.iterations", output.iterations)
+    return output
+
+
+def _iteration_phase(
+    param_s: RegionMoments,
+    param_l: RegionMoments,
+    sketch0: float,
+    config: ISLAConfig,
+    sketch_interval_radius: Optional[float] = None,
+) -> IterationOutput:
     # Fallbacks: a region with no samples cannot support Theorem 3; the sketch
     # (which carries its own relaxed precision guarantee) is the answer.
     if param_s.is_empty or param_l.is_empty:
@@ -121,7 +148,10 @@ def iteration_phase(
             fallback_reason=None,
         )
 
-    q = allocate_q(param_s.count, param_l.count, config)
+    with obs.span("leverage.compute") as lev:
+        q = allocate_q(param_s.count, param_l.count, config)
+        lev.set_tag("q", q)
+        lev.set_tag("deviation", deviation)
     try:
         objective = ObjectiveFunction.from_moments(param_s, param_l, q)
     except EstimationError:

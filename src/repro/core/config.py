@@ -77,6 +77,10 @@ class ISLAConfig:
     clamp_to_sketch_interval: bool = False
     #: random seed used when the caller does not pass a Generator
     seed: Optional[int] = None
+    #: tri-state telemetry switch: True/False force spans + metrics on/off for
+    #: components built from this config; None defers to the ambient setting
+    #: (the ``REPRO_TELEMETRY`` environment variable or an activated scope)
+    telemetry: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.precision <= 0:

@@ -15,11 +15,12 @@ extension (Section VII-A) a natural continuation of the same state.
 
 from __future__ import annotations
 
-import time
+from contextlib import nullcontext
 from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.calculation import BlockCalculator
 from repro.core.boundaries import DataBoundaries
 from repro.core.config import ISLAConfig
@@ -46,6 +47,27 @@ class ISLAAggregator:
         self.config = config or ISLAConfig()
         # An explicit seed argument overrides the config seed for convenience.
         self._seed = seed if seed is not None else self.config.seed
+        self._telemetry: Optional[obs.Telemetry] = None
+
+    @property
+    def telemetry(self) -> Optional[obs.Telemetry]:
+        """The aggregator-owned telemetry created by a forced config toggle."""
+        return self._telemetry
+
+    def _telemetry_scope(self):
+        """Honour a forced ``config.telemetry`` toggle.
+
+        ``None`` defers to the ambient telemetry.  When the toggle already
+        matches the ambient switch, spans keep flowing to the ambient sink
+        (e.g. the engine's or an EXPLAIN ANALYZE capture); otherwise an
+        aggregator-owned instance with the forced switch is activated.
+        """
+        forced = self.config.telemetry
+        if forced is None or obs.active_telemetry().enabled == forced:
+            return nullcontext()
+        if self._telemetry is None or self._telemetry.enabled != forced:
+            self._telemetry = obs.Telemetry(enabled=forced)
+        return self._telemetry.activate()
 
     # ------------------------------------------------------------------ AVG
     def aggregate_avg(
@@ -76,39 +98,43 @@ class ISLAAggregator:
             Re-use an existing pre-estimate (the online extension passes the
             one from the previous round).
         """
-        started = time.perf_counter()
         column = store.validate_column(column)
         if store.total_rows == 0:
             raise EmptyDataError(f"store {store.name!r} has no rows")
         generator = rng if rng is not None else np.random.default_rng(self._seed)
 
-        estimate = pre_estimate or PreEstimator(self.config).estimate(
-            store, column, generator
-        )
-        sampling_rate = rate if rate is not None else estimate.sampling_rate
+        with self._telemetry_scope(), obs.stopwatch(
+            "isla.aggregate", table=store.name, column=column, method=self.method
+        ) as watch:
+            estimate = pre_estimate or PreEstimator(self.config).estimate(
+                store, column, generator
+            )
+            sampling_rate = rate if rate is not None else estimate.sampling_rate
 
-        # Negative data are handled by the translation trick of footnote 1:
-        # shift the boundaries and samples into positive territory, aggregate,
-        # then shift the answer back.
-        offset = self._translation_offset(estimate)
-        boundaries = DataBoundaries.from_sketch(
-            estimate.sketch0 + offset,
-            estimate.sigma,
-            p1=self.config.p1,
-            p2=self.config.p2,
-        )
+            # Negative data are handled by the translation trick of footnote 1:
+            # shift the boundaries and samples into positive territory,
+            # aggregate, then shift the answer back.
+            offset = self._translation_offset(estimate)
+            boundaries = DataBoundaries.from_sketch(
+                estimate.sketch0 + offset,
+                estimate.sigma,
+                p1=self.config.p1,
+                p2=self.config.p2,
+            )
 
-        block_results = self._run_blocks(
-            store,
-            column,
-            sampling_rate,
-            boundaries,
-            estimate,
-            offset,
-            generator,
-        )
-        combined = combine_block_results(block_results) - offset
-        elapsed = time.perf_counter() - started
+            block_results = self._run_blocks(
+                store,
+                column,
+                sampling_rate,
+                boundaries,
+                estimate,
+                offset,
+                generator,
+            )
+            combined = combine_block_results(block_results) - offset
+            watch.set_tag("sampling_rate", sampling_rate)
+            watch.set_tag("blocks", len(block_results))
+        elapsed = watch.elapsed_seconds
 
         interval = ConfidenceInterval(
             center=combined,
@@ -199,8 +225,8 @@ class ISLAAggregator:
         for block in store.blocks:
             if offset != 0.0:
                 block = _shifted_block(block, column, offset)
-            results.append(
-                calculator.run(
+            with obs.span("isla.block", block=block.block_id) as sp:
+                result = calculator.run(
                     block,
                     column,
                     sampling_rate,
@@ -209,7 +235,9 @@ class ISLAAggregator:
                     rng,
                     sketch_interval_radius=estimate.relaxed_precision,
                 )
-            )
+                sp.set_tag("sample_size", result.sample_size)
+                sp.set_tag("iterations", result.iterations)
+            results.append(result)
         return results
 
 

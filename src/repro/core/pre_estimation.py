@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import ISLAConfig
 from repro.errors import EstimationError
 from repro.stats.confidence import required_sample_size, required_sampling_rate
@@ -79,31 +80,37 @@ class PreEstimator:
         if data_size <= 0:
             raise EstimationError("cannot pre-estimate an empty store")
 
-        # --- sigma from a small pilot sample -------------------------------
-        pilot_size = min(config.pilot_sample_size, data_size)
-        pilot = store.pilot_sample(column, pilot_size, generator)
-        sigma = float(pilot.std())
+        with obs.span("isla.pre_estimate", table=store.name, column=column) as sp:
+            # --- sigma from a small pilot sample ---------------------------
+            pilot_size = min(config.pilot_sample_size, data_size)
+            pilot = store.pilot_sample(column, pilot_size, generator)
+            sigma = float(pilot.std())
 
-        # --- sampling rate for the main computation (Eq. 1) ----------------
-        if sigma == 0.0:
-            # Degenerate column (a constant): one sample per block suffices.
-            sampling_rate = min(1.0, store.block_count / data_size)
-        else:
-            sampling_rate = required_sampling_rate(
-                sigma, config.precision, config.confidence, data_size
-            )
+            # --- sampling rate for the main computation (Eq. 1) ------------
+            if sigma == 0.0:
+                # Degenerate column (a constant): one sample per block suffices.
+                sampling_rate = min(1.0, store.block_count / data_size)
+            else:
+                sampling_rate = required_sampling_rate(
+                    sigma, config.precision, config.confidence, data_size
+                )
 
-        # --- sketch estimator with the relaxed precision -------------------
-        relaxed_precision = config.relaxed_precision
-        if sigma == 0.0:
-            sketch_sample_size = min(data_size, max(store.block_count, 1))
-        else:
-            sketch_sample_size = min(
-                data_size,
-                required_sample_size(sigma, relaxed_precision, config.confidence),
+            # --- sketch estimator with the relaxed precision ---------------
+            relaxed_precision = config.relaxed_precision
+            if sigma == 0.0:
+                sketch_sample_size = min(data_size, max(store.block_count, 1))
+            else:
+                sketch_sample_size = min(
+                    data_size,
+                    required_sample_size(sigma, relaxed_precision, config.confidence),
+                )
+            sketch_sample = store.pilot_sample(
+                column, max(1, sketch_sample_size), generator
             )
-        sketch_sample = store.pilot_sample(column, max(1, sketch_sample_size), generator)
-        sketch0 = float(sketch_sample.mean())
+            sketch0 = float(sketch_sample.mean())
+            sp.set_tag("pilot_rows", int(pilot.size))
+            sp.set_tag("sketch_rows", int(sketch_sample.size))
+            sp.set_tag("sampling_rate", sampling_rate)
 
         return PreEstimate(
             sigma=sigma,

@@ -13,15 +13,21 @@ Run one experiment (paper-style table printed to stdout)::
 Run everything at a reduced scale::
 
     python -m repro.experiments all --data-size 100000
+
+Emit machine-readable perf trajectories (enables telemetry for the run)::
+
+    python -m repro.experiments table3 --metrics-out metrics.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro import obs
 from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
 
 __all__ = ["main", "build_parser"]
@@ -53,18 +59,38 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="base random seed (default 0)"
     )
+    parser.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="enable telemetry and write the metrics registry snapshot "
+             "(counters + latency histograms) as JSON to PATH",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="enable telemetry for the run even without --metrics-out",
+    )
     return parser
 
 
-def _run_one(identifier: str, data_size: Optional[int], seed: int) -> str:
+def _run_one(identifier: str, data_size: Optional[int], seed: int) -> tuple:
     runner = get_experiment(identifier)
     kwargs = {"seed": seed}
     if data_size is not None and identifier in _SIZE_AWARE:
         kwargs["data_size"] = data_size
-    started = time.perf_counter()
-    result = runner(**kwargs)
-    elapsed = time.perf_counter() - started
-    return f"{result.to_text()}\n(ran in {elapsed:.2f}s)\n"
+    with obs.stopwatch(f"experiment.{identifier}", seed=seed) as watch:
+        result = runner(**kwargs)
+    elapsed = watch.elapsed_seconds
+    return f"{result.to_text()}\n(ran in {elapsed:.2f}s)\n", elapsed
+
+
+def _write_metrics(path: str, per_experiment: Dict[str, float]) -> None:
+    payload = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "experiments": per_experiment,
+        "metrics": obs.get_telemetry().registry.snapshot(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -78,12 +104,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {identifier:16s} {description}")
         return 0
 
+    if args.metrics_out or args.telemetry:
+        obs.configure(enabled=True)
+
     identifiers = list(args.experiments)
     if len(identifiers) == 1 and identifiers[0].lower() == "all":
         identifiers = list(EXPERIMENTS)
 
+    per_experiment: Dict[str, float] = {}
     for identifier in identifiers:
-        print(_run_one(identifier, args.data_size, args.seed))
+        text, elapsed = _run_one(identifier, args.data_size, args.seed)
+        per_experiment[identifier] = elapsed
+        print(text)
+
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, per_experiment)
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 

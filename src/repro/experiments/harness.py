@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import ISLAConfig
 from repro.core.isla import ISLAAggregator
 from repro.core.pre_estimation import PreEstimator
@@ -127,25 +128,26 @@ def run_method(
     experiment, which hands ISLA a third of the baselines' budget).
     """
     method = method.upper()
-    if method == "ISLA":
-        aggregator = ISLAAggregator(config, seed=seed)
-        return aggregator.aggregate_avg(store, column, rate=rate).value
-    baselines = {
-        "US": UniformAggregator,
-        "STS": StratifiedAggregator,
-        "MV": MeasureBiasedValueAggregator,
-        "MVB": MeasureBiasedBoundaryAggregator,
-    }
-    if method in baselines:
-        baseline = baselines[method](seed=seed)
-        if rate is not None:
-            return baseline.aggregate(store, column, rate=rate).value
-        return baseline.aggregate(
-            store, column, precision=config.precision, confidence=config.confidence
-        ).value
-    if method == "EXACT":
-        return store.exact_mean(column)
-    raise ValueError(f"unknown method {method!r}")
+    with obs.stopwatch(f"experiment.{method.lower()}", table=store.name):
+        if method == "ISLA":
+            aggregator = ISLAAggregator(config, seed=seed)
+            return aggregator.aggregate_avg(store, column, rate=rate).value
+        baselines = {
+            "US": UniformAggregator,
+            "STS": StratifiedAggregator,
+            "MV": MeasureBiasedValueAggregator,
+            "MVB": MeasureBiasedBoundaryAggregator,
+        }
+        if method in baselines:
+            baseline = baselines[method](seed=seed)
+            if rate is not None:
+                return baseline.aggregate(store, column, rate=rate).value
+            return baseline.aggregate(
+                store, column, precision=config.precision, confidence=config.confidence
+            ).value
+        if method == "EXACT":
+            return store.exact_mean(column)
+        raise ValueError(f"unknown method {method!r}")
 
 
 def compare_methods(

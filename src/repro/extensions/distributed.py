@@ -9,12 +9,13 @@ Summarization step runs on the caller's thread.
 
 from __future__ import annotations
 
-import time
+import contextvars
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.boundaries import DataBoundaries
 from repro.core.calculation import BlockCalculator
 from repro.core.config import ISLAConfig
@@ -55,43 +56,58 @@ class ParallelISLAAggregator(ISLAAggregator):
         pre_estimate=None,
     ) -> AggregateResult:
         """Parallel version of :meth:`ISLAAggregator.aggregate_avg`."""
-        started = time.perf_counter()
         column = store.validate_column(column)
         if store.total_rows == 0:
             raise EmptyDataError(f"store {store.name!r} has no rows")
         seed_source = np.random.SeedSequence(
             self._seed if self._seed is not None else None
         )
-        pre_rng = np.random.default_rng(seed_source.spawn(1)[0])
-        estimate = pre_estimate or PreEstimator(self.config).estimate(store, column, pre_rng)
-        sampling_rate = rate if rate is not None else estimate.sampling_rate
-        boundaries = DataBoundaries.from_sketch(
-            estimate.sketch0, estimate.sigma, p1=self.config.p1, p2=self.config.p2
-        )
-
-        calculator = BlockCalculator(self.config)
-        block_seeds = seed_source.spawn(store.block_count)
-
-        def run_block(args) -> BlockResult:
-            block, child_seed = args
-            block_rng = np.random.default_rng(child_seed)
-            return calculator.run(
-                block,
-                column,
-                sampling_rate,
-                boundaries,
-                estimate.sketch0,
-                block_rng,
-                sketch_interval_radius=estimate.relaxed_precision,
+        with self._telemetry_scope(), obs.stopwatch(
+            "isla.parallel",
+            table=store.name,
+            column=column,
+            workers=self.max_workers,
+        ) as watch:
+            pre_rng = np.random.default_rng(seed_source.spawn(1)[0])
+            estimate = pre_estimate or PreEstimator(self.config).estimate(
+                store, column, pre_rng
+            )
+            sampling_rate = rate if rate is not None else estimate.sampling_rate
+            boundaries = DataBoundaries.from_sketch(
+                estimate.sketch0, estimate.sigma, p1=self.config.p1, p2=self.config.p2
             )
 
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            block_results: List[BlockResult] = list(
-                pool.map(run_block, zip(store.blocks, block_seeds))
-            )
+            calculator = BlockCalculator(self.config)
+            block_seeds = seed_source.spawn(store.block_count)
+            # One context copy per task: worker threads start with an empty
+            # context, so this is what keeps their spans attached to the
+            # current trace (each task needs its own copy because a Context
+            # cannot be entered concurrently).
+            block_contexts = [
+                contextvars.copy_context() for _ in range(store.block_count)
+            ]
 
-        value = combine_block_results(block_results)
-        elapsed = time.perf_counter() - started
+            def run_block(args) -> BlockResult:
+                block, child_seed, context = args
+                block_rng = np.random.default_rng(child_seed)
+                return context.run(
+                    calculator.run,
+                    block,
+                    column,
+                    sampling_rate,
+                    boundaries,
+                    estimate.sketch0,
+                    block_rng,
+                    sketch_interval_radius=estimate.relaxed_precision,
+                )
+
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                block_results: List[BlockResult] = list(
+                    pool.map(run_block, zip(store.blocks, block_seeds, block_contexts))
+                )
+
+            value = combine_block_results(block_results)
+        elapsed = watch.elapsed_seconds
         interval = ConfidenceInterval(
             center=value, radius=self.config.precision, confidence=self.config.confidence
         )

@@ -16,12 +16,12 @@ more samples when hunting the maximum.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Literal, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import ISLAConfig
 from repro.errors import EmptyDataError, EstimationError
 from repro.storage.blockstore import BlockStore
@@ -89,50 +89,62 @@ class ExtremeValueAggregator:
         kind: ExtremeKind,
         rng: Optional[np.random.Generator],
     ) -> ExtremeResult:
-        started = time.perf_counter()
         column = store.validate_column(column)
         if store.total_rows == 0:
             raise EmptyDataError(f"store {store.name!r} has no rows")
         generator = rng if rng is not None else np.random.default_rng(self._seed)
         direction = 1.0 if kind == "max" else -1.0
 
-        # Pilot pass: per-block mean and variance drive the sampling leverages.
-        means = []
-        variances = []
-        for block in store.blocks:
-            pilot_size = min(self.pilot_per_block, max(2, block.size))
-            pilot = block.sample_column(column, pilot_size, generator)
-            means.append(float(pilot.mean()))
-            variances.append(float(pilot.var()))
-        means_array = np.asarray(means)
-        spread = float(means_array.std()) or 1.0
-        general_condition = np.exp(direction * (means_array - means_array.mean()) / spread)
-        leverages = (1.0 + np.asarray(variances)) * general_condition
-        leverages = leverages / leverages.sum()
+        with obs.stopwatch(
+            "extreme.aggregate", table=store.name, column=column, kind=kind
+        ) as watch:
+            # Pilot pass: per-block mean and variance drive the sampling
+            # leverages.
+            means = []
+            variances = []
+            with obs.span("extreme.pilot", blocks=store.block_count):
+                for block in store.blocks:
+                    pilot_size = min(self.pilot_per_block, max(2, block.size))
+                    pilot = block.sample_column(column, pilot_size, generator)
+                    means.append(float(pilot.mean()))
+                    variances.append(float(pilot.var()))
+            with obs.span("leverage.compute", kind="extreme"):
+                means_array = np.asarray(means)
+                spread = float(means_array.std()) or 1.0
+                general_condition = np.exp(
+                    direction * (means_array - means_array.mean()) / spread
+                )
+                leverages = (1.0 + np.asarray(variances)) * general_condition
+                leverages = leverages / leverages.sum()
 
-        budget = max(store.block_count, int(round(self.base_rate * store.total_rows)))
-        per_block_extremes: Dict[int, float] = {}
-        per_block_rates: Dict[int, float] = {}
-        drawn = 0
-        best: Optional[float] = None
-        for index, block in enumerate(store.blocks):
-            if block.size == 0:
-                continue
-            share = max(1, int(round(budget * leverages[index])))
-            rate = min(1.0, share / block.size)
-            sample = block.sample_column(column, max(1, int(round(rate * block.size))), generator)
-            extreme = float(sample.max() if kind == "max" else sample.min())
-            per_block_extremes[block.block_id] = extreme
-            per_block_rates[block.block_id] = rate
-            drawn += sample.size
+            budget = max(store.block_count, int(round(self.base_rate * store.total_rows)))
+            per_block_extremes: Dict[int, float] = {}
+            per_block_rates: Dict[int, float] = {}
+            drawn = 0
+            best: Optional[float] = None
+            for index, block in enumerate(store.blocks):
+                if block.size == 0:
+                    continue
+                share = max(1, int(round(budget * leverages[index])))
+                rate = min(1.0, share / block.size)
+                with obs.span("sample.draw", block=block.block_id) as sp:
+                    sample = block.sample_column(
+                        column, max(1, int(round(rate * block.size))), generator
+                    )
+                    extreme = float(sample.max() if kind == "max" else sample.min())
+                    sp.set_tag("rows", int(sample.size))
+                per_block_extremes[block.block_id] = extreme
+                per_block_rates[block.block_id] = rate
+                drawn += sample.size
+                if best is None:
+                    best = extreme
+                else:
+                    best = max(best, extreme) if kind == "max" else min(best, extreme)
+            obs.counter("sample.rows", drawn)
+
             if best is None:
-                best = extreme
-            else:
-                best = max(best, extreme) if kind == "max" else min(best, extreme)
-
-        if best is None:
-            raise EmptyDataError("no block produced any samples")
-        elapsed = time.perf_counter() - started
+                raise EmptyDataError("no block produced any samples")
+        elapsed = watch.elapsed_seconds
         return ExtremeResult(
             value=best,
             kind=kind,

@@ -16,11 +16,11 @@ The Summarization step is unchanged (size-weighted combination).
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.boundaries import DataBoundaries
 from repro.core.calculation import BlockCalculator
 from repro.core.config import ISLAConfig
@@ -55,54 +55,62 @@ class NonIIDAggregator:
         rng: Optional[np.random.Generator] = None,
     ) -> AggregateResult:
         """Approximate ``AVG(column)`` over a store with heterogeneous blocks."""
-        started = time.perf_counter()
         column = store.validate_column(column)
         if store.total_rows == 0:
             raise EmptyDataError(f"store {store.name!r} has no rows")
         generator = rng if rng is not None else np.random.default_rng(self._seed)
 
-        # Per-block pilots: sketch0_i, sigma_i.
-        sketches: List[float] = []
-        sigmas: List[float] = []
-        for block in store.blocks:
-            pilot_size = min(self.pilot_per_block, max(2, block.size))
-            pilot = block.sample_column(column, pilot_size, generator)
-            sketches.append(float(pilot.mean()))
-            sigmas.append(float(pilot.std()))
+        with obs.stopwatch("noniid.aggregate", table=store.name, column=column) as watch:
+            # Per-block pilots: sketch0_i, sigma_i.
+            sketches: List[float] = []
+            sigmas: List[float] = []
+            with obs.span("noniid.pilot", blocks=store.block_count):
+                for block in store.blocks:
+                    pilot_size = min(self.pilot_per_block, max(2, block.size))
+                    pilot = block.sample_column(column, pilot_size, generator)
+                    sketches.append(float(pilot.mean()))
+                    sigmas.append(float(pilot.std()))
 
-        # Overall sampling rate from the pooled deviation (Eq. 1), then spread
-        # across blocks with the variance-driven block leverages.
-        pooled_sigma = float(np.sqrt(np.mean(np.square(sigmas)))) or 1e-12
-        overall_rate = required_sampling_rate(
-            pooled_sigma, self.config.precision, self.config.confidence, store.total_rows
-        )
-        variances = np.square(np.asarray(sigmas, dtype=float))
-        block_leverages = (1.0 + variances) / (store.block_count + variances.sum())
-
-        calculator = BlockCalculator(self.config)
-        block_results: List[BlockResult] = []
-        total_rows = store.total_rows
-        for index, block in enumerate(store.blocks):
-            if block.size == 0:
-                continue
-            local_rate = min(1.0, overall_rate * total_rows * block_leverages[index] / block.size)
-            boundaries = DataBoundaries.from_sketch(
-                sketches[index], sigmas[index], p1=self.config.p1, p2=self.config.p2
+            # Overall sampling rate from the pooled deviation (Eq. 1), then
+            # spread across blocks with the variance-driven block leverages.
+            pooled_sigma = float(np.sqrt(np.mean(np.square(sigmas)))) or 1e-12
+            overall_rate = required_sampling_rate(
+                pooled_sigma, self.config.precision, self.config.confidence,
+                store.total_rows,
             )
-            block_results.append(
-                calculator.run(
-                    block,
-                    column,
-                    local_rate,
-                    boundaries,
-                    sketches[index],
-                    generator,
-                    sketch_interval_radius=self.config.relaxed_precision,
+            with obs.span("leverage.compute", kind="block") as lev:
+                variances = np.square(np.asarray(sigmas, dtype=float))
+                block_leverages = (1.0 + variances) / (store.block_count + variances.sum())
+                lev.set_tag("pooled_sigma", pooled_sigma)
+
+            calculator = BlockCalculator(self.config)
+            block_results: List[BlockResult] = []
+            total_rows = store.total_rows
+            for index, block in enumerate(store.blocks):
+                if block.size == 0:
+                    continue
+                local_rate = min(
+                    1.0, overall_rate * total_rows * block_leverages[index] / block.size
                 )
-            )
+                boundaries = DataBoundaries.from_sketch(
+                    sketches[index], sigmas[index], p1=self.config.p1, p2=self.config.p2
+                )
+                with obs.span("isla.block", block=block.block_id) as sp:
+                    result = calculator.run(
+                        block,
+                        column,
+                        local_rate,
+                        boundaries,
+                        sketches[index],
+                        generator,
+                        sketch_interval_radius=self.config.relaxed_precision,
+                    )
+                    sp.set_tag("sample_size", result.sample_size)
+                    sp.set_tag("rate", local_rate)
+                block_results.append(result)
 
-        value = combine_block_results(block_results)
-        elapsed = time.perf_counter() - started
+            value = combine_block_results(block_results)
+        elapsed = watch.elapsed_seconds
         interval = ConfidenceInterval(
             center=value, radius=self.config.precision, confidence=self.config.confidence
         )

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.accumulators import RegionMoments
 from repro.core.boundaries import DataBoundaries
 from repro.core.calculation import iteration_phase, sampling_phase
@@ -99,15 +100,23 @@ class OnlineAggregator:
         if additional_rate <= 0:
             raise EstimationError(f"additional_rate must be positive, got {additional_rate}")
         state = self._state
-        for block in self._store.blocks:
-            new_s, new_l, drawn = sampling_phase(
-                block, self._column, min(1.0, additional_rate), state.boundaries, self._rng
-            )
-            state.param_s[block.block_id].merge(new_s)
-            state.param_l[block.block_id].merge(new_l)
-            state.samples_drawn[block.block_id] += drawn
-        state.rounds += 1
-        return self._current_result()
+        with obs.span(
+            "online.round", round=state.rounds + 1, rate=additional_rate
+        ) as sp:
+            drawn_this_round = 0
+            for block in self._store.blocks:
+                new_s, new_l, drawn = sampling_phase(
+                    block, self._column, min(1.0, additional_rate), state.boundaries,
+                    self._rng,
+                )
+                state.param_s[block.block_id].merge(new_s)
+                state.param_l[block.block_id].merge(new_l)
+                state.samples_drawn[block.block_id] += drawn
+                drawn_this_round += drawn
+            state.rounds += 1
+            sp.set_tag("rows", drawn_this_round)
+            sp.set_tag("total_rows", state.total_samples())
+            return self._current_result()
 
     # ------------------------------------------------------------ internals
     def _current_result(self) -> AggregateResult:

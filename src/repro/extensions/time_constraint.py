@@ -10,11 +10,11 @@ size, and runs the normal ISLA pipeline with that sampling rate.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.boundaries import DataBoundaries
 from repro.core.calculation import sampling_phase
 from repro.core.config import ISLAConfig
@@ -63,48 +63,54 @@ class TimeConstrainedAggregator:
             raise TimeBudgetExceeded(f"budget must be positive, got {budget_seconds}")
         column = store.validate_column(column)
         generator = rng if rng is not None else np.random.default_rng(self._seed)
-        started = time.perf_counter()
-
-        # Pre-estimation is needed regardless; it also tells us sigma.
-        estimate = PreEstimator(self.config).estimate(store, column, generator)
-        boundaries = DataBoundaries.from_sketch(
-            estimate.sketch0, estimate.sigma, p1=self.config.p1, p2=self.config.p2
-        )
-
-        # Calibrate throughput: time a small sampling pass over the first block.
-        first_block = store.blocks[0]
-        calibration_rate = min(1.0, _CALIBRATION_SAMPLES / max(1, first_block.size))
-        calibration_start = time.perf_counter()
-        sampling_phase(first_block, column, calibration_rate, boundaries, generator)
-        calibration_elapsed = max(time.perf_counter() - calibration_start, 1e-6)
-        rows_timed = max(1, int(round(calibration_rate * first_block.size)))
-        seconds_per_row = calibration_elapsed / rows_timed
-
-        elapsed_so_far = time.perf_counter() - started
-        usable = (budget_seconds - elapsed_so_far) * (1.0 - _OVERHEAD_FRACTION)
-        if usable <= 0:
-            raise TimeBudgetExceeded(
-                f"budget of {budget_seconds:.3f}s exhausted during calibration"
+        with obs.stopwatch(
+            "timed.aggregate", table=store.name, budget_seconds=budget_seconds
+        ) as watch:
+            # Pre-estimation is needed regardless; it also tells us sigma.
+            estimate = PreEstimator(self.config).estimate(store, column, generator)
+            boundaries = DataBoundaries.from_sketch(
+                estimate.sketch0, estimate.sigma, p1=self.config.p1, p2=self.config.p2
             )
-        affordable_rows = int(usable / seconds_per_row)
-        if affordable_rows < store.block_count:
-            raise TimeBudgetExceeded(
-                f"budget of {budget_seconds:.3f}s only affords {affordable_rows} samples "
-                f"across {store.block_count} blocks"
-            )
-        affordable_rows = min(affordable_rows, store.total_rows)
-        rate = affordable_rows / store.total_rows
 
-        # The precision this sample size can actually guarantee (Definition 1).
-        achieved_precision = half_width(
-            estimate.sigma, max(2, affordable_rows), self.config.confidence
-        )
-        config = self.config.with_updates(precision=max(achieved_precision, 1e-12))
-        aggregator = ISLAAggregator(config, seed=self._seed)
-        result = aggregator.aggregate_avg(
-            store, column, rate=rate, rng=generator, pre_estimate=estimate
-        )
-        total_elapsed = time.perf_counter() - started
+            # Calibrate throughput: time a small sampling pass over the first
+            # block.
+            first_block = store.blocks[0]
+            calibration_rate = min(1.0, _CALIBRATION_SAMPLES / max(1, first_block.size))
+            with obs.stopwatch("timed.calibrate", block=first_block.block_id) as cal:
+                sampling_phase(
+                    first_block, column, calibration_rate, boundaries, generator
+                )
+            calibration_elapsed = max(cal.elapsed_seconds, 1e-6)
+            rows_timed = max(1, int(round(calibration_rate * first_block.size)))
+            seconds_per_row = calibration_elapsed / rows_timed
+
+            usable = (budget_seconds - watch.elapsed_seconds) * (1.0 - _OVERHEAD_FRACTION)
+            if usable <= 0:
+                raise TimeBudgetExceeded(
+                    f"budget of {budget_seconds:.3f}s exhausted during calibration"
+                )
+            affordable_rows = int(usable / seconds_per_row)
+            if affordable_rows < store.block_count:
+                raise TimeBudgetExceeded(
+                    f"budget of {budget_seconds:.3f}s only affords {affordable_rows} "
+                    f"samples across {store.block_count} blocks"
+                )
+            affordable_rows = min(affordable_rows, store.total_rows)
+            rate = affordable_rows / store.total_rows
+
+            # The precision this sample size can actually guarantee
+            # (Definition 1).
+            achieved_precision = half_width(
+                estimate.sigma, max(2, affordable_rows), self.config.confidence
+            )
+            config = self.config.with_updates(precision=max(achieved_precision, 1e-12))
+            aggregator = ISLAAggregator(config, seed=self._seed)
+            result = aggregator.aggregate_avg(
+                store, column, rate=rate, rng=generator, pre_estimate=estimate
+            )
+            watch.set_tag("affordable_rows", affordable_rows)
+            watch.set_tag("achieved_precision", achieved_precision)
+        total_elapsed = watch.elapsed_seconds
         # Report the end-to-end latency of the constrained run.
         return AggregateResult(
             value=result.value,

@@ -1,0 +1,71 @@
+"""``repro.obs`` — query-lifecycle observability for the ISLA engine.
+
+Three zero-dependency pieces:
+
+* :mod:`repro.obs.metrics` — counters, gauges and p50/p95/p99 histograms in a
+  thread-safe :class:`MetricsRegistry` with snapshot/reset and JSON export;
+* :mod:`repro.obs.tracing` — nested :class:`Span` trees with a context-var
+  current-span stack and pluggable exporters (in-memory ring buffer, JSONL);
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade and the
+  module-level helpers (:func:`span`, :func:`stopwatch`, :func:`counter`,
+  :func:`observe`) instrumentation sites call.
+
+Telemetry is **off by default** and the disabled path is a shared no-op.
+Turn it on with the ``REPRO_TELEMETRY=1`` environment variable,
+``ISLAConfig(telemetry=True)``, :func:`configure`, or per-scope via
+``Telemetry(enabled=True).activate()``.  ``AQPEngine.explain_analyze``
+force-enables a capture for one statement regardless of the global switch.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import (
+    NULL_SPAN,
+    InMemorySpanExporter,
+    JsonlSpanExporter,
+    NullSpan,
+    Span,
+    Tracer,
+    summarize_trace,
+)
+from repro.obs.telemetry import (
+    ENV_VAR,
+    QueryTelemetry,
+    Stopwatch,
+    Telemetry,
+    active_telemetry,
+    configure,
+    counter,
+    get_telemetry,
+    observe,
+    set_telemetry,
+    span,
+    stopwatch,
+)
+from repro.obs.explain import render_explain_analyze
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "Tracer",
+    "InMemorySpanExporter",
+    "JsonlSpanExporter",
+    "summarize_trace",
+    "ENV_VAR",
+    "Telemetry",
+    "Stopwatch",
+    "QueryTelemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "configure",
+    "active_telemetry",
+    "span",
+    "stopwatch",
+    "counter",
+    "observe",
+    "render_explain_analyze",
+]

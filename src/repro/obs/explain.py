@@ -1,0 +1,69 @@
+"""Rendering of ``EXPLAIN ANALYZE`` output from a traced execution.
+
+``AQPEngine.explain_analyze`` executes the statement under a force-enabled
+telemetry capture and hands the resulting ``ExecutionResult`` (duck-typed
+here to avoid an import cycle with the query package) to
+:func:`render_explain_analyze`, which prints the logical plan, the answer,
+the span tree annotated with per-stage wall-clock timings, and the derived
+counters (ISLA iterations, per-stage sample sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+__all__ = ["render_explain_analyze"]
+
+
+def render_explain_analyze(result: Any, plan_description: str = "") -> str:
+    """Render a traced execution as an ``EXPLAIN ANALYZE`` report.
+
+    Parameters
+    ----------
+    result:
+        An ``ExecutionResult`` whose ``telemetry`` field is populated.
+    plan_description:
+        The logical plan text (``QueryPlan.describe()``), printed verbatim
+        as the header when provided.
+    """
+    lines: List[str] = []
+    if plan_description:
+        lines.append(plan_description)
+        lines.append("")
+
+    lines.append(
+        f"{result.aggregate.upper()}({result.column}) = {result.value:.6g}  "
+        f"[method={result.method}, {result.sample_size} samples, "
+        f"{result.elapsed_seconds * 1000.0:.3f} ms total]"
+    )
+
+    telemetry = getattr(result, "telemetry", None)
+    if telemetry is None:
+        lines.append("")
+        lines.append("(no telemetry captured — tracing was disabled)")
+        return "\n".join(lines)
+
+    lines.append("")
+    lines.append(telemetry.trace.render())
+
+    stage_seconds = telemetry.stage_seconds
+    if stage_seconds:
+        lines.append("")
+        lines.append("stage totals:")
+        width = max(len(name) for name in stage_seconds)
+        for name in sorted(stage_seconds, key=stage_seconds.get, reverse=True):
+            lines.append(
+                f"  {name.ljust(width)}  {stage_seconds[name] * 1000.0:10.3f} ms"
+            )
+
+    counters = {
+        name: value for name, value in telemetry.counters.items() if name != "spans"
+    }
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name.ljust(width)}  {counters[name]:g}")
+
+    return "\n".join(lines)

@@ -1,0 +1,288 @@
+"""Zero-dependency metrics primitives: counters, gauges and histograms.
+
+The registry is deliberately tiny — a process-local, thread-safe map from
+metric names to one of three instrument kinds:
+
+* :class:`Counter` — a monotonically increasing total (``sample.rows``).
+* :class:`Gauge` — a point-in-time value that can move both ways.
+* :class:`Histogram` — a distribution with count/sum/min/max/mean and
+  p50/p95/p99 quantiles computed from a bounded, decimating reservoir.
+
+Everything snapshots to plain dictionaries so the experiment harness can dump
+``registry.to_json()`` straight into a ``--metrics-out`` file.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: default reservoir capacity of a histogram (values retained for quantiles)
+DEFAULT_RESERVOIR = 4096
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current total."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        with self._lock:
+            self._value = 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict view of the counter."""
+        return {"type": self.kind, "value": self._value}
+
+
+class Gauge:
+    """A point-in-time value that can increase or decrease."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the gauge by ``amount`` (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current value."""
+        return self._value
+
+    def reset(self) -> None:
+        """Reset the gauge to zero."""
+        with self._lock:
+            self._value = 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict view of the gauge."""
+        return {"type": self.kind, "value": self._value}
+
+
+class Histogram:
+    """A distribution summary with bounded memory.
+
+    Count, sum, min and max are exact.  Quantiles come from a reservoir that
+    keeps every observation until ``capacity`` is reached, then halves the
+    retained set and doubles the stride (keeping every 2nd, 4th, ... value),
+    so memory stays bounded while the retained values remain spread over the
+    whole observation stream.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "_lock", "_count", "_sum", "_min", "_max",
+                 "_values", "_stride", "_capacity")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_RESERVOIR) -> None:
+        if capacity < 2:
+            raise ValueError(f"histogram capacity must be at least 2, got {capacity}")
+        self.name = name
+        self._lock = threading.Lock()
+        self._capacity = int(capacity)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._values: List[float] = []
+        self._stride = 1
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            if self._count % self._stride == 0:
+                if len(self._values) >= self._capacity:
+                    self._values = self._values[::2]
+                    self._stride *= 2
+                if self._count % self._stride == 0:
+                    self._values.append(value)
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    # ------------------------------------------------------------- reporting
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observations."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (NaN when empty)."""
+        return self._sum / self._count if self._count else math.nan
+
+    def percentile(self, fraction: float) -> float:
+        """The ``fraction``-quantile (0..1) of the retained reservoir.
+
+        Returns NaN when the histogram is empty.  Uses linear interpolation
+        between the two nearest retained values.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"percentile fraction must lie in [0, 1], got {fraction}")
+        with self._lock:
+            values = sorted(self._values)
+        if not values:
+            return math.nan
+        position = fraction * (len(values) - 1)
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        if low == high:
+            return values[low]
+        weight = position - low
+        return values[low] * (1.0 - weight) + values[high] * weight
+
+    def reset(self) -> None:
+        """Forget every observation."""
+        with self._lock:
+            self._count = 0
+            self._sum = 0.0
+            self._min = math.inf
+            self._max = -math.inf
+            self._values = []
+            self._stride = 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict view including the p50/p95/p99 quantiles."""
+        return {
+            "type": self.kind,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "mean": self.mean if self._count else None,
+            "p50": self.percentile(0.50) if self._count else None,
+            "p95": self.percentile(0.95) if self._count else None,
+            "p99": self.percentile(0.99) if self._count else None,
+        }
+
+
+class MetricsRegistry:
+    """A thread-safe, name-keyed collection of metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------- accessors
+    def _get_or_create(self, name: str, factory, kind: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory(name)
+                self._metrics[name] = metric
+            elif metric.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {metric.kind}, "
+                    f"requested as a {kind}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get_or_create(name, Counter, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get_or_create(name, Gauge, "gauge")
+
+    def histogram(self, name: str, capacity: Optional[int] = None) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        factory = (
+            Histogram
+            if capacity is None
+            else (lambda metric_name: Histogram(metric_name, capacity=capacity))
+        )
+        return self._get_or_create(name, factory, "histogram")
+
+    # ----------------------------------------------------------- conveniences
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment the counter ``name`` by ``amount``."""
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value``."""
+        self.gauge(name).set(value)
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def names(self) -> tuple:
+        """The registered metric names, sorted."""
+        with self._lock:
+            return tuple(sorted(self._metrics))
+
+    def get(self, name: str):
+        """The metric called ``name`` or None."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-dict snapshot of every metric, keyed by name."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in sorted(metrics)}
+
+    def reset(self) -> None:
+        """Reset every metric (registrations are kept)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop every registration."""
+        with self._lock:
+            self._metrics.clear()
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The snapshot serialised as JSON."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

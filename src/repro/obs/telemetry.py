@@ -1,0 +1,270 @@
+"""The telemetry facade: one switch, one registry, one tracer.
+
+A :class:`Telemetry` object bundles a :class:`~repro.obs.metrics.MetricsRegistry`
+and a :class:`~repro.obs.tracing.Tracer` behind a single enabled/disabled
+switch.  Instrumentation sites never talk to a tracer directly — they call the
+module-level helpers (:func:`span`, :func:`stopwatch`, :func:`counter`,
+:func:`observe`), which resolve the *active* telemetry:
+
+1. whatever :meth:`Telemetry.activate` pushed onto the context-var stack
+   (the engine pushes its own instance, ``EXPLAIN ANALYZE`` pushes a
+   force-enabled capture), else
+2. the process-global default, whose switch comes from the
+   ``REPRO_TELEMETRY`` environment variable.
+
+When the resolved telemetry is disabled every helper returns a shared no-op
+(:data:`~repro.obs.tracing.NULL_SPAN`), so the cost of an instrumented call
+site is one context-var read and one attribute check.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, Span, Tracer, summarize_trace
+
+__all__ = [
+    "ENV_VAR",
+    "Telemetry",
+    "Stopwatch",
+    "QueryTelemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "configure",
+    "active_telemetry",
+    "span",
+    "stopwatch",
+    "counter",
+    "observe",
+]
+
+#: environment variable toggling the process-global default telemetry
+ENV_VAR = "REPRO_TELEMETRY"
+
+_TRUTHY = {"1", "true", "yes", "on", "enabled"}
+
+
+def _env_enabled(default: bool = False) -> bool:
+    """Resolve the ``REPRO_TELEMETRY`` toggle (unset -> ``default``)."""
+    raw = os.environ.get(ENV_VAR)
+    if raw is None:
+        return default
+    return raw.strip().lower() in _TRUTHY
+
+
+class Telemetry:
+    """A metrics registry and tracer behind one enabled/disabled switch."""
+
+    def __init__(
+        self,
+        enabled: Optional[bool] = None,
+        exporters: Tuple = (),
+        max_traces: int = 64,
+    ) -> None:
+        #: ``enabled=None`` defers to the ``REPRO_TELEMETRY`` environment variable
+        self._enabled = _env_enabled(False) if enabled is None else bool(enabled)
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(exporters=exporters, max_traces=max_traces)
+
+    # --------------------------------------------------------------- switch
+    @property
+    def enabled(self) -> bool:
+        """Whether spans and metrics are being recorded."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Turn recording on."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Turn recording off (the no-op fast path)."""
+        self._enabled = False
+
+    # ------------------------------------------------------------------ API
+    def span(self, name: str, **tags: Any):
+        """Open a span on this instance (no-op when disabled)."""
+        if not self._enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, **tags)
+
+    def activate(self) -> "_Activation":
+        """Context manager making this the active telemetry for the scope."""
+        return _Activation(self)
+
+    def reset(self) -> None:
+        """Drop recorded traces and reset every metric."""
+        self.tracer.reset()
+        self.registry.reset()
+
+
+class _Activation:
+    """Pushes one telemetry instance onto the active stack."""
+
+    __slots__ = ("_telemetry", "_token")
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self._telemetry = telemetry
+        self._token = None
+
+    def __enter__(self) -> Telemetry:
+        self._token = _ACTIVE.set(self._telemetry)
+        return self._telemetry
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _ACTIVE.reset(self._token)
+        return False
+
+
+_ACTIVE: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_active_telemetry", default=None
+)
+_GLOBAL: Optional[Telemetry] = None
+
+
+def get_telemetry() -> Telemetry:
+    """The process-global default telemetry (created lazily from the env)."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = Telemetry(enabled=None)
+    return _GLOBAL
+
+
+def set_telemetry(telemetry: Telemetry) -> None:
+    """Replace the process-global default telemetry."""
+    global _GLOBAL
+    _GLOBAL = telemetry
+
+
+def configure(enabled: bool) -> Telemetry:
+    """Switch the process-global default telemetry on or off."""
+    telemetry = get_telemetry()
+    if enabled:
+        telemetry.enable()
+    else:
+        telemetry.disable()
+    return telemetry
+
+
+def active_telemetry() -> Telemetry:
+    """The telemetry instrumentation sites should write to right now."""
+    active = _ACTIVE.get(None)
+    return active if active is not None else get_telemetry()
+
+
+# ------------------------------------------------------------ module helpers
+def span(name: str, **tags: Any):
+    """Open a span on the active telemetry (shared no-op when disabled)."""
+    telemetry = _ACTIVE.get(None)
+    if telemetry is None:
+        telemetry = get_telemetry()
+    if not telemetry._enabled:
+        return NULL_SPAN
+    return telemetry.tracer.span(name, **tags)
+
+
+def counter(name: str, amount: float = 1.0) -> None:
+    """Increment a counter on the active telemetry (no-op when disabled)."""
+    telemetry = _ACTIVE.get(None)
+    if telemetry is None:
+        telemetry = get_telemetry()
+    if telemetry._enabled:
+        telemetry.registry.inc(name, amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the active telemetry."""
+    telemetry = _ACTIVE.get(None)
+    if telemetry is None:
+        telemetry = get_telemetry()
+    if telemetry._enabled:
+        telemetry.registry.observe(name, value)
+
+
+class Stopwatch:
+    """Times a stage unconditionally; records a span + histogram when enabled.
+
+    Several call sites need the elapsed time *as data* (``elapsed_seconds``
+    on result objects, the time-constrained budget arithmetic), so the clock
+    always runs; the span and the ``<name>.seconds`` histogram observation
+    only happen when the active telemetry is enabled.  This is the drop-in
+    replacement for the manual ``time.perf_counter()`` start/stop pairs the
+    extensions used to carry.
+    """
+
+    __slots__ = ("name", "tags", "span", "_start", "_elapsed", "_span_context")
+
+    def __init__(self, name: str, tags: Dict[str, Any]) -> None:
+        self.name = name
+        self.tags = tags
+        self.span: Optional[Span] = None
+        self._start = 0.0
+        self._elapsed: Optional[float] = None
+        self._span_context = None
+
+    def __enter__(self) -> "Stopwatch":
+        context = span(self.name, **self.tags)
+        if context is not NULL_SPAN:
+            self._span_context = context
+            self.span = context.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._elapsed = time.perf_counter() - self._start
+        if self._span_context is not None:
+            self._span_context.__exit__(exc_type, exc, tb)
+            observe(f"{self.name}.seconds", self._elapsed)
+        return False
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Elapsed seconds; live while running, frozen once exited."""
+        if self._elapsed is not None:
+            return self._elapsed
+        return time.perf_counter() - self._start
+
+    def set_tag(self, key: str, value: Any) -> "Stopwatch":
+        """Forward a tag to the underlying span (no-op when disabled)."""
+        if self.span is not None:
+            self.span.set_tag(key, value)
+        return self
+
+
+def stopwatch(name: str, **tags: Any) -> Stopwatch:
+    """A :class:`Stopwatch` context manager for the active telemetry."""
+    return Stopwatch(name, tags)
+
+
+@dataclass(frozen=True)
+class QueryTelemetry:
+    """Per-query telemetry attached to an ``ExecutionResult``."""
+
+    #: the root span of the query's trace
+    trace: Span
+    #: aggregates derived from the trace (sample rows, ISLA iterations, ...)
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: total wall-clock seconds per span name
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_span(cls, root: Span) -> "QueryTelemetry":
+        """Build the per-query summary from a finished root span."""
+        summary = summarize_trace(root)
+        return cls(
+            trace=root,
+            counters=summary["counters"],
+            stage_seconds=summary["stage_seconds"],
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-friendly view (span tree + derived aggregates)."""
+        return {
+            "trace": self.trace.to_dict(),
+            "counters": dict(self.counters),
+            "stage_seconds": dict(self.stage_seconds),
+        }

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+from dataclasses import replace
 from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import ISLAConfig
 from repro.query.executor import ExecutionResult, QueryExecutor
 from repro.query.parser import parse_query
@@ -35,11 +38,19 @@ class AQPEngine:
         self,
         config: Optional[ISLAConfig] = None,
         seed: Optional[int] = None,
+        telemetry: Optional[obs.Telemetry] = None,
     ) -> None:
         self.catalog = Catalog()
         self.config = config or ISLAConfig()
         self.seed = seed
         self._executor = QueryExecutor(seed=seed)
+        # Precedence: explicit instance > config toggle > ambient default.
+        if telemetry is not None:
+            self.telemetry = telemetry
+        elif self.config.telemetry is not None:
+            self.telemetry = obs.Telemetry(enabled=self.config.telemetry)
+        else:
+            self.telemetry = None
 
     # ---------------------------------------------------------- registration
     def register_store(self, store: BlockStore, name: Optional[str] = None) -> None:
@@ -71,13 +82,50 @@ class AQPEngine:
     # -------------------------------------------------------------- querying
     def plan(self, statement: str) -> QueryPlan:
         """Parse and plan a statement without executing it (EXPLAIN)."""
-        query = parse_query(statement)
-        return plan_query(query, self.catalog, base_config=self.config)
+        with obs.span("query.parse"):
+            query = parse_query(statement)
+        with obs.span("query.plan") as sp:
+            plan = plan_query(query, self.catalog, base_config=self.config)
+            sp.set_tag("method", plan.method)
+            sp.set_tag("table", plan.store.name)
+        return plan
 
     def execute(self, statement: str) -> ExecutionResult:
-        """Parse, plan and execute a statement."""
-        return self._executor.execute(self.plan(statement))
+        """Parse, plan and execute a statement.
+
+        With telemetry enabled (``REPRO_TELEMETRY=1``,
+        ``ISLAConfig(telemetry=True)`` or an explicit
+        :class:`~repro.obs.Telemetry`), the result's ``telemetry`` field
+        carries the full span tree of the query lifecycle.
+        """
+        return self._execute_with(statement, self.telemetry)
 
     def explain(self, statement: str) -> str:
         """Return the plan description for a statement."""
         return self.plan(statement).describe()
+
+    def explain_analyze(self, statement: str) -> str:
+        """Execute the statement and render the plan with observed timings.
+
+        Telemetry is force-enabled for this one execution regardless of the
+        engine-wide switch; the report contains the logical plan, the answer,
+        the span tree with per-stage wall-clock timings, and the derived
+        counters (ISLA iterations, per-stage sample sizes).
+        """
+        capture = obs.Telemetry(enabled=True)
+        result = self._execute_with(statement, capture)
+        plan_description = self.plan(statement).describe()
+        return obs.render_explain_analyze(result, plan_description)
+
+    # ------------------------------------------------------------- internals
+    def _execute_with(
+        self, statement: str, telemetry: Optional[obs.Telemetry]
+    ) -> ExecutionResult:
+        scope = telemetry.activate() if telemetry is not None else nullcontext()
+        with scope:
+            with obs.span("query", statement=statement) as root:
+                plan = self.plan(statement)
+                result = self._executor.execute(plan)
+        if root.is_recording:
+            result = replace(result, telemetry=obs.QueryTelemetry.from_span(root))
+        return result

@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.isla import ISLAAggregator
-from repro.errors import QueryPlanError, TimeBudgetExceeded
+from repro.errors import QueryPlanError
 from repro.query.planner import QueryPlan
 from repro.sampling import (
     BiLevelAggregator,
@@ -38,6 +38,8 @@ class ExecutionResult:
     elapsed_seconds: float
     details: Dict[str, Any] = field(default_factory=dict)
     raw: Any = None
+    #: per-query span tree + derived counters (None when telemetry is off)
+    telemetry: Optional[obs.QueryTelemetry] = None
 
     def error_against(self, truth: float) -> float:
         """Absolute error against a known ground truth."""
@@ -64,17 +66,35 @@ class QueryExecutor:
         self.seed = seed
 
     def execute(self, plan: QueryPlan) -> ExecutionResult:
-        """Run the plan and wrap the answer in an :class:`ExecutionResult`."""
-        started = time.perf_counter()
+        """Run the plan and wrap the answer in an :class:`ExecutionResult`.
+
+        The execution runs inside a ``query.execute`` span; when the active
+        telemetry is enabled and this is the outermost span (i.e. the executor
+        is used directly rather than through :class:`AQPEngine`), the span
+        tree is attached to the result's ``telemetry`` field.
+        """
+        with obs.stopwatch(
+            "query.execute",
+            method=plan.method,
+            table=plan.store.name,
+            aggregate=plan.query.aggregate,
+        ) as watch:
+            result = self._dispatch(plan, watch)
+        root = watch.span
+        if root is not None and result.telemetry is None:
+            result = replace(result, telemetry=obs.QueryTelemetry.from_span(root))
+        return result
+
+    # ------------------------------------------------------------ internals
+    def _dispatch(self, plan: QueryPlan, watch: obs.Stopwatch) -> ExecutionResult:
         method = plan.method
         query = plan.query
 
         if query.time_budget_ms is not None:
-            return self._execute_time_constrained(plan, started)
+            return self._execute_time_constrained(plan, watch)
 
         if method == "EXACT":
             value = self._exact_value(plan)
-            elapsed = time.perf_counter() - started
             return ExecutionResult(
                 value=value,
                 method=method,
@@ -82,7 +102,7 @@ class QueryExecutor:
                 column=plan.column,
                 table=plan.store.name,
                 sample_size=plan.store.total_rows,
-                elapsed_seconds=elapsed,
+                elapsed_seconds=watch.elapsed_seconds,
                 details={"full_scan": True},
             )
 
@@ -92,7 +112,6 @@ class QueryExecutor:
                 result = aggregator.aggregate_avg(plan.store, plan.column)
             else:
                 result = aggregator.aggregate_sum(plan.store, plan.column)
-            elapsed = time.perf_counter() - started
             return ExecutionResult(
                 value=result.value,
                 method=method,
@@ -100,7 +119,7 @@ class QueryExecutor:
                 column=plan.column,
                 table=plan.store.name,
                 sample_size=result.sample_size,
-                elapsed_seconds=elapsed,
+                elapsed_seconds=watch.elapsed_seconds,
                 details=result.to_dict(),
                 raw=result,
             )
@@ -116,7 +135,6 @@ class QueryExecutor:
             value = estimate.value
             if query.aggregate == "sum":
                 value *= plan.store.total_rows
-            elapsed = time.perf_counter() - started
             return ExecutionResult(
                 value=value,
                 method=method,
@@ -124,43 +142,44 @@ class QueryExecutor:
                 column=plan.column,
                 table=plan.store.name,
                 sample_size=estimate.sample_size,
-                elapsed_seconds=elapsed,
+                elapsed_seconds=watch.elapsed_seconds,
                 details=dict(estimate.details),
                 raw=estimate,
             )
 
         raise QueryPlanError(f"no executor registered for method {method!r}")
 
-    # ------------------------------------------------------------ internals
     def _exact_value(self, plan: QueryPlan) -> float:
         if plan.query.aggregate == "avg":
             return plan.store.exact_mean(plan.column)
         return plan.store.exact_sum(plan.column)
 
-    def _execute_time_constrained(self, plan: QueryPlan, started: float) -> ExecutionResult:
-        """Delegate to the time-constrained extension (Section VII-F)."""
+    def _execute_time_constrained(
+        self, plan: QueryPlan, watch: obs.Stopwatch
+    ) -> ExecutionResult:
+        """Delegate to the time-constrained extension (Section VII-F).
+
+        A blown budget propagates as :class:`~repro.errors.TimeBudgetExceeded`
+        — it is a runtime failure of the execution, not a planning error.
+        """
         from repro.extensions.time_constraint import TimeConstrainedAggregator
 
         budget_seconds = (plan.query.time_budget_ms or 0.0) / 1000.0
         aggregator = TimeConstrainedAggregator(plan.config, seed=self.seed)
-        try:
-            result = aggregator.aggregate_within(
-                plan.store, plan.column, budget_seconds=budget_seconds
-            )
-        except TimeBudgetExceeded as exc:
-            raise QueryPlanError(str(exc)) from exc
+        result = aggregator.aggregate_within(
+            plan.store, plan.column, budget_seconds=budget_seconds
+        )
         value = result.value
         if plan.query.aggregate == "sum":
             value *= plan.store.total_rows
-        elapsed = time.perf_counter() - started
         return ExecutionResult(
             value=value,
-            method="ISLA",
+            method=result.method,
             aggregate=plan.query.aggregate,
             column=plan.column,
             table=plan.store.name,
             sample_size=result.sample_size,
-            elapsed_seconds=elapsed,
+            elapsed_seconds=watch.elapsed_seconds,
             details={**result.to_dict(), "time_budget_ms": plan.query.time_budget_ms},
             raw=result,
         )

@@ -8,6 +8,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SamplingError
 from repro.stats.confidence import required_sampling_rate
 from repro.storage.blockstore import BlockStore
@@ -78,7 +79,13 @@ class BaselineAggregator(abc.ABC):
             store, column, rate=rate, precision=precision,
             confidence=confidence, rng=generator,
         )
-        return self._aggregate(store, column, resolved_rate, generator)
+        with obs.span(
+            "sample.draw", method=self.method, table=store.name, rate=resolved_rate
+        ) as sp:
+            estimate = self._aggregate(store, column, resolved_rate, generator)
+            sp.set_tag("rows", estimate.sample_size)
+        obs.counter("sample.rows", estimate.sample_size)
+        return estimate
 
     # ------------------------------------------------------------ internals
     def _resolve_rate(

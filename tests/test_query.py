@@ -3,7 +3,12 @@
 import pytest
 
 from repro.core.result import AggregateResult
-from repro.errors import QueryPlanError, QuerySyntaxError, UnknownTableError
+from repro.errors import (
+    QueryPlanError,
+    QuerySyntaxError,
+    TimeBudgetExceeded,
+    UnknownTableError,
+)
 from repro.query.ast import AggregateQuery
 from repro.query.engine import AQPEngine
 from repro.query.parser import parse_query, tokenize
@@ -116,6 +121,21 @@ class TestEngine:
         )
         assert result.sample_size > 0
         assert result.details["time_budget_ms"] == 500
+
+    def test_time_budget_result_reports_actual_method(self, engine):
+        result = engine.execute(
+            "SELECT AVG(value) FROM readings PRECISION 0.5 TIME 500"
+        )
+        assert result.method == "ISLA-timed"
+
+    def test_blown_time_budget_propagates(self, engine):
+        # A 1 microsecond budget cannot even cover pre-estimation +
+        # calibration; the runtime failure must surface as TimeBudgetExceeded,
+        # not be re-wrapped as a planning error.
+        with pytest.raises(TimeBudgetExceeded):
+            engine.execute(
+                "SELECT AVG(value) FROM readings PRECISION 0.5 TIME 0.001"
+            )
 
     def test_unknown_table(self, engine):
         with pytest.raises(UnknownTableError):
