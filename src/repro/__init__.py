@@ -17,9 +17,10 @@ from repro.storage.blockstore import BlockStore
 from repro.storage.table import Table
 from repro.storage.catalog import Catalog
 from repro.query.engine import AQPEngine
+from repro.serve import QueryService, ServeConfig
 from repro.errors import ReproError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ISLAAggregator",
@@ -30,6 +31,8 @@ __all__ = [
     "Table",
     "Catalog",
     "AQPEngine",
+    "QueryService",
+    "ServeConfig",
     "ReproError",
     "Telemetry",
     "obs",

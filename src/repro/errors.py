@@ -57,3 +57,23 @@ class QueryPlanError(QueryError):
 
 class TimeBudgetExceeded(ReproError):
     """A time-constrained execution could not finish within its budget."""
+
+
+class ServingError(ReproError):
+    """The query-serving subsystem could not serve a request."""
+
+
+class AdmissionRejected(ServingError):
+    """Admission control shed the query (queue full or deadline passed).
+
+    Raised by :meth:`~repro.serve.QueryTicket.result` when the outcome is a
+    typed rejection; the rejection reason is the first argument.
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class ServiceClosed(ServingError):
+    """A query was submitted to a :class:`~repro.serve.QueryService` after close."""

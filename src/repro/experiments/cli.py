@@ -68,7 +68,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", action="store_true",
         help="enable telemetry for the run even without --metrics-out",
     )
+    serving = parser.add_argument_group(
+        "serving", "options for the 'serve' entry point (query-serving benchmark)"
+    )
+    serving.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads of the QueryService (default 4)",
+    )
+    serving.add_argument(
+        "--tables", type=int, default=3,
+        help="synthetic tables in the serving workload (default 3)",
+    )
+    serving.add_argument(
+        "--repeats", type=int, default=4,
+        help="times each unique statement repeats in the workload (default 4)",
+    )
     return parser
+
+
+def _run_serve(args) -> str:
+    """The ``serve`` entry point: the serving-subsystem throughput benchmark."""
+    from repro.serve.bench import format_report, run_throughput_benchmark
+
+    report = run_throughput_benchmark(
+        data_size=args.data_size if args.data_size is not None else 200_000,
+        table_count=args.tables,
+        repeats=args.repeats,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    return format_report(report)
 
 
 def _run_one(identifier: str, data_size: Optional[int], seed: int) -> tuple:
@@ -102,6 +131,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("Available experiments:")
         for identifier, description in list_experiments().items():
             print(f"  {identifier:16s} {description}")
+        print(f"  {'serve':16s} query-serving subsystem throughput benchmark "
+              "(worker pool + precision-aware cache)")
         return 0
 
     if args.metrics_out or args.telemetry:
@@ -113,6 +144,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     per_experiment: Dict[str, float] = {}
     for identifier in identifiers:
+        if identifier.lower() == "serve":
+            with obs.stopwatch("experiment.serve", seed=args.seed) as watch:
+                text = _run_serve(args)
+            per_experiment[identifier] = watch.elapsed_seconds
+            print(text + "\n")
+            continue
         text, elapsed = _run_one(identifier, args.data_size, args.seed)
         per_experiment[identifier] = elapsed
         print(text)

@@ -93,6 +93,29 @@ class OnlineAggregator:
         rate = initial_rate if initial_rate is not None else pre_estimate.sampling_rate
         return self.refine(rate)
 
+    def ingest(self, values, catalog=None) -> int:
+        """Append new rows to the store as a fresh block (online append).
+
+        The new block joins the accumulated state with empty power sums, so
+        the next :meth:`refine` samples it alongside the existing blocks.
+        When the store is registered in a ``catalog``, the table is touched
+        so the serving layer's version-keyed result cache drops every
+        answer computed before the append.  Returns the new block id.
+        """
+        if self._state is None or self._store is None or self._column is None:
+            raise EstimationError("call start() before ingest()")
+        block = self._store.append_block(
+            np.asarray(values, dtype=float), column=self._column
+        )
+        state = self._state
+        state.param_s[block.block_id] = RegionMoments()
+        state.param_l[block.block_id] = RegionMoments()
+        state.samples_drawn[block.block_id] = 0
+        obs.counter("online.ingested_rows", block.size)
+        if catalog is not None:
+            catalog.touch(self._store.name)
+        return block.block_id
+
     def refine(self, additional_rate: float) -> AggregateResult:
         """Draw more samples at ``additional_rate`` and recompute the answer."""
         if self._state is None or self._store is None or self._column is None:

@@ -35,6 +35,7 @@ from repro.obs.telemetry import (
     active_telemetry,
     configure,
     counter,
+    gauge,
     get_telemetry,
     observe,
     set_telemetry,
@@ -67,5 +68,6 @@ __all__ = [
     "stopwatch",
     "counter",
     "observe",
+    "gauge",
     "render_explain_analyze",
 ]

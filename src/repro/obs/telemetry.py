@@ -41,6 +41,7 @@ __all__ = [
     "stopwatch",
     "counter",
     "observe",
+    "gauge",
 ]
 
 #: environment variable toggling the process-global default telemetry
@@ -183,6 +184,15 @@ def observe(name: str, value: float) -> None:
         telemetry = get_telemetry()
     if telemetry._enabled:
         telemetry.registry.observe(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the active telemetry (no-op when disabled)."""
+    telemetry = _ACTIVE.get(None)
+    if telemetry is None:
+        telemetry = get_telemetry()
+    if telemetry._enabled:
+        telemetry.registry.set_gauge(name, value)
 
 
 class Stopwatch:

@@ -66,6 +66,23 @@ class AggregateQuery:
         object.__setattr__(self, "method", self.method.upper())
         object.__setattr__(self, "aggregate", self.aggregate.lower())
 
+    def cache_signature(self) -> tuple:
+        """Canonical identity of the query *excluding* the error budget.
+
+        Two statements with the same signature compute the same quantity;
+        they may differ in ``PRECISION``/``CONFIDENCE``, which the serving
+        layer's precision-aware cache compares against the cached answer's
+        achieved bound instead of keying on.  Table names are already
+        case-insensitive in the catalog, so the signature folds case.
+        """
+        return (
+            self.aggregate,
+            self.column,
+            self.table.lower(),
+            self.method,
+            self.time_budget_ms,
+        )
+
     def describe(self) -> str:
         """Canonical text form of the query."""
         parts = [

@@ -74,6 +74,17 @@ class AQPEngine:
                                       block_count=block_count, column=column)
         self.catalog.register(store)
 
+    def append_array(self, name: str, values: Sequence[float]) -> int:
+        """Append rows to a registered table as a new block (online ingest).
+
+        Bumps the table's catalog version so precision-aware result caches
+        treat every previously cached answer for the table as stale.
+        Returns the new version.
+        """
+        store = self.catalog.resolve(name)
+        store.append_block(np.asarray(values, dtype=float))
+        return self.catalog.touch(name)
+
     @property
     def tables(self) -> tuple[str, ...]:
         """Names of the registered tables."""
@@ -99,6 +110,27 @@ class AQPEngine:
         carries the full span tree of the query lifecycle.
         """
         return self._execute_with(statement, self.telemetry)
+
+    def execute_plan(self, plan: QueryPlan, seed=None) -> ExecutionResult:
+        """Execute an already-built plan, optionally with a per-call seed.
+
+        The serving layer plans once (to build cache keys) and executes only
+        on a cache miss, passing each query an independent seed derived from
+        a ``np.random.SeedSequence`` spawn.
+        """
+        return self._executor.execute(plan, seed=seed)
+
+    def serve(self, **kwargs):
+        """Create a :class:`~repro.serve.QueryService` bound to this engine.
+
+        Keyword arguments are forwarded to
+        :class:`~repro.serve.ServeConfig` (``workers``, ``max_queue``,
+        ``cache_capacity``, ...).  Remember to ``close()`` the service (or
+        use it as a context manager).
+        """
+        from repro.serve import QueryService, ServeConfig
+
+        return QueryService(self, ServeConfig(**kwargs))
 
     def explain(self, statement: str) -> str:
         """Return the plan description for a statement."""

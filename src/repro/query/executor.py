@@ -65,33 +65,42 @@ class QueryExecutor:
     def __init__(self, seed: Optional[int] = None) -> None:
         self.seed = seed
 
-    def execute(self, plan: QueryPlan) -> ExecutionResult:
+    def execute(self, plan: QueryPlan, seed: Optional[Any] = None) -> ExecutionResult:
         """Run the plan and wrap the answer in an :class:`ExecutionResult`.
+
+        ``seed`` overrides the executor-wide seed for this one call.  The
+        serving layer passes an independent ``np.random.SeedSequence`` child
+        per submitted query, so concurrent queries never share (or repeat)
+        a random stream while staying reproducible per submission order.
 
         The execution runs inside a ``query.execute`` span; when the active
         telemetry is enabled and this is the outermost span (i.e. the executor
         is used directly rather than through :class:`AQPEngine`), the span
         tree is attached to the result's ``telemetry`` field.
         """
+        if seed is None:
+            seed = self.seed
         with obs.stopwatch(
             "query.execute",
             method=plan.method,
             table=plan.store.name,
             aggregate=plan.query.aggregate,
         ) as watch:
-            result = self._dispatch(plan, watch)
+            result = self._dispatch(plan, watch, seed)
         root = watch.span
         if root is not None and result.telemetry is None:
             result = replace(result, telemetry=obs.QueryTelemetry.from_span(root))
         return result
 
     # ------------------------------------------------------------ internals
-    def _dispatch(self, plan: QueryPlan, watch: obs.Stopwatch) -> ExecutionResult:
+    def _dispatch(
+        self, plan: QueryPlan, watch: obs.Stopwatch, seed: Optional[Any]
+    ) -> ExecutionResult:
         method = plan.method
         query = plan.query
 
         if query.time_budget_ms is not None:
-            return self._execute_time_constrained(plan, watch)
+            return self._execute_time_constrained(plan, watch, seed)
 
         if method == "EXACT":
             value = self._exact_value(plan)
@@ -107,7 +116,7 @@ class QueryExecutor:
             )
 
         if method == "ISLA":
-            aggregator = ISLAAggregator(plan.config, seed=self.seed)
+            aggregator = ISLAAggregator(plan.config, seed=seed)
             if query.aggregate == "avg":
                 result = aggregator.aggregate_avg(plan.store, plan.column)
             else:
@@ -125,7 +134,7 @@ class QueryExecutor:
             )
 
         if method in _BASELINES:
-            baseline = _BASELINES[method](seed=self.seed)
+            baseline = _BASELINES[method](seed=seed)
             estimate = baseline.aggregate(
                 plan.store,
                 plan.column,
@@ -155,7 +164,7 @@ class QueryExecutor:
         return plan.store.exact_sum(plan.column)
 
     def _execute_time_constrained(
-        self, plan: QueryPlan, watch: obs.Stopwatch
+        self, plan: QueryPlan, watch: obs.Stopwatch, seed: Optional[Any] = None
     ) -> ExecutionResult:
         """Delegate to the time-constrained extension (Section VII-F).
 
@@ -165,7 +174,7 @@ class QueryExecutor:
         from repro.extensions.time_constraint import TimeConstrainedAggregator
 
         budget_seconds = (plan.query.time_budget_ms or 0.0) / 1000.0
-        aggregator = TimeConstrainedAggregator(plan.config, seed=self.seed)
+        aggregator = TimeConstrainedAggregator(plan.config, seed=seed)
         result = aggregator.aggregate_within(
             plan.store, plan.column, budget_seconds=budget_seconds
         )

@@ -1,0 +1,48 @@
+"""``repro.serve`` — the in-process query-serving subsystem.
+
+Layers production serving concerns on top of
+:class:`~repro.query.engine.AQPEngine`:
+
+* :class:`QueryService` — a bounded worker pool with a futures-based
+  ``submit``/``execute_many`` API;
+* :class:`~repro.serve.admission.AdmissionController` — bounded-queue
+  admission with typed :class:`Rejected` load-shedding outcomes and
+  dequeue-time deadline enforcement;
+* :class:`ResultCache` — a precision-aware answer cache keyed on the
+  canonical query signature plus the catalog's per-table version, with
+  TTL, LRU bounds and eager invalidation on catalog changes.
+
+Quickstart::
+
+    from repro import AQPEngine
+
+    engine = AQPEngine(seed=7)
+    engine.register_array("readings", values, block_count=16)
+    with engine.serve(workers=4) as service:
+        tickets = [service.submit(stmt) for stmt in statements]
+        answers = [ticket.result() for ticket in tickets]
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import CacheEntry, CacheKey, CacheStats, ResultCache, achieved_bound
+from repro.serve.service import (
+    QueryOutcome,
+    QueryService,
+    QueryTicket,
+    Rejected,
+    ServeConfig,
+)
+
+__all__ = [
+    "AdmissionController",
+    "CacheEntry",
+    "CacheKey",
+    "CacheStats",
+    "ResultCache",
+    "achieved_bound",
+    "QueryOutcome",
+    "QueryService",
+    "QueryTicket",
+    "Rejected",
+    "ServeConfig",
+]

@@ -1,0 +1,63 @@
+"""Admission control for the query-serving subsystem.
+
+A deliberately small piece: a counting semaphore-style bound on the number
+of queries waiting for a worker.  The service asks :meth:`try_admit` at
+submit time — a ``False`` answer means the queue is full and the query is
+shed with a typed ``Rejected`` outcome instead of blocking the caller —
+and calls :meth:`release` when a worker dequeues the item.  Per-query
+deadlines are enforced by the service at dequeue time (a query that
+already blew its deadline while queued is shed without being executed,
+mirroring the ``TimeBudgetExceeded`` semantics of the time-constrained
+extension).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded-queue admission with admit/reject accounting."""
+
+    def __init__(self, max_queue: int) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be at least 1, got {max_queue}")
+        self.max_queue = int(max_queue)
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._admitted = 0
+        self._rejected = 0
+
+    def try_admit(self) -> bool:
+        """Reserve a queue slot; False when the queue is at capacity."""
+        with self._lock:
+            if self._depth >= self.max_queue:
+                self._rejected += 1
+                return False
+            self._depth += 1
+            self._admitted += 1
+            return True
+
+    def release(self) -> None:
+        """Free the slot of a dequeued query."""
+        with self._lock:
+            if self._depth <= 0:
+                raise RuntimeError("release() without a matching try_admit()")
+            self._depth -= 1
+
+    @property
+    def depth(self) -> int:
+        """Queries currently waiting for a worker."""
+        return self._depth
+
+    @property
+    def admitted(self) -> int:
+        """Total queries admitted since construction."""
+        return self._admitted
+
+    @property
+    def rejected(self) -> int:
+        """Total queries shed at admission since construction."""
+        return self._rejected

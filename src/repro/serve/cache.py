@@ -1,0 +1,231 @@
+"""Precision-aware result cache for the query-serving subsystem.
+
+The paper's queries carry an explicit error budget (``PRECISION e``,
+``CONFIDENCE p``), which makes approximate answers *reusable*: an answer
+whose achieved confidence-interval half-width is ``h`` at confidence ``c``
+is a valid answer for **any** later request asking for precision ``>= h``
+and confidence ``<= c`` over the same data.  The cache therefore keys on
+the normalized query identity (canonical AST signature + the catalog's
+per-table version) and treats the error budget as a *match predicate*
+rather than part of the key.
+
+Entries expire after a TTL, the map is LRU-bounded, and tables can be
+invalidated explicitly (the serving layer subscribes to catalog change
+events to do this eagerly; version keying already makes stale answers
+unreachable even without it).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.query.executor import ExecutionResult
+from repro.query.planner import QueryPlan
+
+__all__ = ["CacheKey", "CacheEntry", "CacheStats", "ResultCache", "achieved_bound"]
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Normalized identity of a cacheable query against one table version."""
+
+    signature: Tuple
+    table_version: int
+
+    @classmethod
+    def from_plan(cls, plan: QueryPlan, table_version: int) -> "CacheKey":
+        return cls(signature=plan.query.cache_signature(), table_version=table_version)
+
+    @property
+    def table(self) -> str:
+        """The (lower-cased) table name inside the signature."""
+        return self.signature[2]
+
+
+@dataclass
+class CacheEntry:
+    """A cached answer plus the bound it actually achieved."""
+
+    key: CacheKey
+    result: ExecutionResult
+    half_width: float
+    confidence: float
+    created_at: float
+    hits: int = 0
+
+    def satisfies(self, precision: float, confidence: float) -> bool:
+        """True when the cached bound covers the requested budget."""
+        return self.half_width <= precision and self.confidence >= confidence
+
+
+@dataclass
+class CacheStats:
+    """Plain counters mirrored into ``repro.obs`` by the service."""
+
+    hits: int = 0
+    misses: int = 0
+    stale: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def achieved_bound(plan: QueryPlan) -> Optional[Tuple[float, float]]:
+    """The ``(half_width, confidence)`` an execution of ``plan`` guarantees.
+
+    Returns None when the answer carries no reusable bound (then it must
+    not be cached):
+
+    * ``EXACT`` full scans achieve a zero-width interval at confidence 1;
+    * sampling methods achieve the precision/confidence they were planned
+      for (the paper's Eq.-1 rate is derived from exactly that target);
+    * time-constrained executions are excluded — their bound is whatever
+      the deadline allowed, which a later query with a different budget
+      cannot reuse safely.
+    """
+    if plan.query.time_budget_ms is not None:
+        return None
+    if plan.method == "EXACT":
+        return (0.0, 1.0)
+    return (float(plan.config.precision), float(plan.config.confidence))
+
+
+class ResultCache:
+    """A thread-safe, TTL'd, LRU-bounded, precision-aware answer cache."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be at least 1, got {capacity}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"cache TTL must be positive, got {ttl_seconds}")
+        self.capacity = int(capacity)
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ API
+    def lookup(
+        self, key: CacheKey, precision: float, confidence: float
+    ) -> Optional[CacheEntry]:
+        """Return a usable entry for the requested budget, or None.
+
+        A present entry that cannot serve the request — expired, or with a
+        looser achieved bound than requested — counts as *stale*; an absent
+        key counts as a plain miss.  Both return None.  Expired entries are
+        dropped; insufficient-bound entries are kept (a later, looser
+        request may still hit them).
+        """
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if self._expired(entry, now):
+                del self._entries[key]
+                self.stats.stale += 1
+                self.stats.misses += 1
+                return None
+            if not entry.satisfies(precision, confidence):
+                self.stats.stale += 1
+                self.stats.misses += 1
+                return None
+            entry.hits += 1
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+
+    def put(
+        self,
+        key: CacheKey,
+        result: ExecutionResult,
+        half_width: float,
+        confidence: float,
+    ) -> bool:
+        """Cache an answer; returns False when a better entry already exists.
+
+        The cache keeps at most one entry per key — the one with the
+        tightest bound, since it serves every request the looser one could.
+        """
+        now = self._clock()
+        with self._lock:
+            existing = self._entries.get(key)
+            if (
+                existing is not None
+                and not self._expired(existing, now)
+                and existing.half_width <= half_width
+                and existing.confidence >= confidence
+            ):
+                return False
+            self._entries[key] = CacheEntry(
+                key=key,
+                result=result,
+                half_width=float(half_width),
+                confidence=float(confidence),
+                created_at=now,
+            )
+            self._entries.move_to_end(key)
+            self.stats.insertions += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return True
+
+    def invalidate_table(self, table: str) -> int:
+        """Drop every entry for ``table`` (any version); returns the count."""
+        table = table.lower()
+        with self._lock:
+            doomed = [key for key in self._entries if key.table == table]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
+
+    # ------------------------------------------------------------ internals
+    def _expired(self, entry: CacheEntry, now: float) -> bool:
+        return self.ttl_seconds is not None and now - entry.created_at > self.ttl_seconds
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -205,6 +205,28 @@ class BlockStore:
         ]
         return cls.from_blocks(name, blocks, default_column=column)
 
+    # ------------------------------------------------------------- mutation
+    def append_block(self, values: Sequence[float], column: Optional[str] = None) -> Block:
+        """Append a new block of rows (the online-extension ingest path).
+
+        The block gets the next free block id.  Callers that registered the
+        store in a :class:`~repro.storage.catalog.Catalog` should ``touch``
+        the table afterwards so version-keyed caches see the change.
+        """
+        array = np.asarray(values, dtype=float)
+        if array.size == 0:
+            raise EmptyDataError(f"cannot append an empty block to {self.name!r}")
+        column = column or self.default_column
+        next_id = (max(block.block_id for block in self._blocks) + 1) if self._blocks else 0
+        block = Block.from_values(next_id, array, column=column)
+        if self._blocks and not block.has_column(self.default_column):
+            raise StorageError(
+                f"appended block must carry the default column "
+                f"{self.default_column!r} of store {self.name!r}"
+            )
+        self._blocks.append(block)
+        return block
+
     def __iter__(self) -> Iterator[Block]:
         return iter(self._blocks)
 

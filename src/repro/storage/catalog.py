@@ -1,57 +1,145 @@
-"""A tiny catalog mapping table names to block stores."""
+"""A thread-safe catalog mapping table names to block stores.
+
+Beyond name resolution the catalog maintains a **monotonically increasing
+per-table version**: registering, re-registering, dropping or touching a
+table (the online extension touches on append) bumps the version.  The
+serving layer's result cache uses ``(table, version)`` as its invalidation
+token, and subscribers receive ``(event, name, version)`` callbacks so a
+cache can also drop entries eagerly.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+import threading
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.errors import StorageError, UnknownTableError
 from repro.storage.blockstore import BlockStore
 
 __all__ = ["Catalog"]
 
+#: signature of a catalog-change subscriber: ``(event, table, version)``
+CatalogListener = Callable[[str, str, int], None]
 
-@dataclass
+
 class Catalog:
     """Registry of the block stores known to a query session.
 
     The paper's system answers queries of the form ``SELECT AVG(column) FROM
     database WHERE desired_precision``; the catalog resolves the ``FROM``
-    clause to a :class:`BlockStore`.
+    clause to a :class:`BlockStore`.  All mutating and resolving operations
+    are guarded by one re-entrant lock so concurrent query workers can share
+    a session safely.
     """
 
-    _stores: Dict[str, BlockStore] = field(default_factory=dict)
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._stores: Dict[str, BlockStore] = {}
+        self._versions: Dict[str, int] = {}
+        self._listeners: List[CatalogListener] = []
 
-    def register(self, store: BlockStore, name: Optional[str] = None) -> None:
-        """Register a store under ``name`` (defaults to the store's own name)."""
+    def register(self, store: BlockStore, name: Optional[str] = None) -> int:
+        """Register a store under ``name`` (defaults to the store's own name).
+
+        Returns the new version of the table.  Re-registering an existing
+        name replaces the store and bumps the version, invalidating any
+        cached answers keyed on the old version.
+        """
         key = (name or store.name).lower()
         if not key:
             raise StorageError("cannot register a store under an empty name")
-        self._stores[key] = store
+        with self._lock:
+            self._stores[key] = store
+            version = self._bump(key)
+        self._notify("register", key, version)
+        return version
 
     def unregister(self, name: str) -> None:
         """Remove a table from the catalog (no-op if missing)."""
-        self._stores.pop(name.lower(), None)
+        key = name.lower()
+        with self._lock:
+            removed = self._stores.pop(key, None)
+            version = self._bump(key) if removed is not None else None
+        if version is not None:
+            self._notify("unregister", key, version)
+
+    def touch(self, name: str) -> int:
+        """Bump a table's version without replacing the store.
+
+        Called after in-place mutations (e.g. an online-extension append)
+        so version-keyed caches treat prior answers as stale.
+        """
+        key = name.lower()
+        with self._lock:
+            if key not in self._stores:
+                raise UnknownTableError(
+                    f"cannot touch unknown table {name!r}; "
+                    f"registered tables: {sorted(self._stores)}"
+                )
+            version = self._bump(key)
+        self._notify("touch", key, version)
+        return version
 
     def resolve(self, name: str) -> BlockStore:
         """Look up a table by (case-insensitive) name."""
-        try:
-            return self._stores[name.lower()]
-        except KeyError as exc:
-            raise UnknownTableError(
-                f"unknown table {name!r}; registered tables: {sorted(self._stores)}"
-            ) from exc
+        with self._lock:
+            try:
+                return self._stores[name.lower()]
+            except KeyError as exc:
+                raise UnknownTableError(
+                    f"unknown table {name!r}; registered tables: {sorted(self._stores)}"
+                ) from exc
 
+    def version(self, name: str) -> int:
+        """The current version of ``name`` (0 if the table was never seen)."""
+        with self._lock:
+            return self._versions.get(name.lower(), 0)
+
+    # ------------------------------------------------------------ listeners
+    def subscribe(self, listener: CatalogListener) -> None:
+        """Register a ``(event, table, version)`` change callback.
+
+        Events are ``"register"``, ``"unregister"`` and ``"touch"``.
+        Callbacks run outside the catalog lock, on the mutating thread.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: CatalogListener) -> None:
+        """Remove a previously registered callback (no-op if missing)."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------ internals
+    def _bump(self, key: str) -> int:
+        # caller holds the lock
+        version = self._versions.get(key, 0) + 1
+        self._versions[key] = version
+        return version
+
+    def _notify(self, event: str, key: str, version: int) -> None:
+        with self._lock:
+            listeners = tuple(self._listeners)
+        for listener in listeners:
+            listener(event, key, version)
+
+    # ----------------------------------------------------------- dict-likes
     def __contains__(self, name: str) -> bool:
-        return name.lower() in self._stores
+        with self._lock:
+            return name.lower() in self._stores
 
     def __iter__(self) -> Iterator[str]:
-        return iter(sorted(self._stores))
+        return iter(self.table_names)
 
     def __len__(self) -> int:
-        return len(self._stores)
+        with self._lock:
+            return len(self._stores)
 
     @property
     def table_names(self) -> tuple[str, ...]:
         """Registered table names, sorted."""
-        return tuple(sorted(self._stores))
+        with self._lock:
+            return tuple(sorted(self._stores))

@@ -46,6 +46,33 @@ class TestOnlineAggregation:
         with pytest.raises(EstimationError):
             online.refine(0.0)
 
+    def test_ingest_appends_block_and_touches_catalog(self):
+        from repro.storage.blockstore import BlockStore
+        from repro.storage.catalog import Catalog
+
+        rng = np.random.default_rng(5)
+        store = BlockStore.from_array("stream", rng.normal(100.0, 20.0, 50_000),
+                                      block_count=5)
+        catalog = Catalog()
+        catalog.register(store)
+        online = OnlineAggregator(ISLAConfig(precision=0.5), seed=17)
+        online.start(store, initial_rate=0.05)
+
+        block_id = online.ingest(rng.normal(100.0, 20.0, 10_000), catalog=catalog)
+        assert block_id == 5
+        assert store.block_count == 6
+        assert catalog.version("stream") == 2  # register + touch
+
+        refined = online.refine(additional_rate=0.05)
+        # the appended block participates in the refined answer
+        assert online.state.samples_drawn[block_id] > 0
+        assert refined.error_against(store.exact_mean()) <= 1.0
+
+    def test_ingest_before_start_rejected(self):
+        online = OnlineAggregator(ISLAConfig(), seed=1)
+        with pytest.raises(EstimationError):
+            online.ingest([1.0, 2.0])
+
 
 class TestNonIIDAggregation:
     def test_paper_setup_meets_precision(self):
