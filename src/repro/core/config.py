@@ -75,6 +75,12 @@ class ISLAConfig:
     #: clamp the final block answer to sketch0's relaxed confidence interval
     #: (the safeguard discussed for extreme distributions in Section VII-B)
     clamp_to_sketch_interval: bool = False
+    #: partition-parallel scan width: ``None`` keeps the legacy serial scan;
+    #: an integer (>= 1) routes execution through the partition backend
+    #: (:mod:`repro.parallel`) with that many shards.  Seeded results are
+    #: bit-identical across parallelism levels, so this is purely a
+    #: throughput knob.
+    parallelism: Optional[int] = None
     #: random seed used when the caller does not pass a Generator
     seed: Optional[int] = None
     #: tri-state telemetry switch: True/False force spans + metrics on/off for
@@ -124,6 +130,10 @@ class ISLAConfig:
         if self.max_iterations < 1:
             raise ConfigurationError(
                 f"max_iterations must be positive, got {self.max_iterations}"
+            )
+        if self.parallelism is not None and self.parallelism < 1:
+            raise ConfigurationError(
+                f"parallelism must be None or at least 1, got {self.parallelism}"
             )
 
     # ------------------------------------------------------------- utilities

@@ -68,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", action="store_true",
         help="enable telemetry for the run even without --metrics-out",
     )
+    parser.add_argument(
+        "--parallelism", type=int, default=None, metavar="N",
+        help="partition-parallel scan width: shard block scans across the "
+             "shared scan pool (default: serial; seeded answers are "
+             "bit-identical at any width)",
+    )
     serving = parser.add_argument_group(
         "serving", "options for the 'serve' entry point (query-serving benchmark)"
     )
@@ -96,6 +102,22 @@ def _run_serve(args) -> str:
         repeats=args.repeats,
         workers=args.workers,
         seed=args.seed,
+        parallelism=args.parallelism,
+    )
+    return format_report(report)
+
+
+def _run_parallel(args) -> str:
+    """The ``parallel`` entry point: serial vs partition-parallel scan bench."""
+    from repro.parallel.bench import format_report, run_benchmark
+
+    levels = (2, 4)
+    if args.parallelism is not None:
+        levels = tuple(sorted({2, 4, max(1, args.parallelism)}))
+    report = run_benchmark(
+        rows=args.data_size if args.data_size is not None else 400_000,
+        seed=args.seed,
+        parallelism_levels=levels,
     )
     return format_report(report)
 
@@ -133,6 +155,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {identifier:16s} {description}")
         print(f"  {'serve':16s} query-serving subsystem throughput benchmark "
               "(worker pool + precision-aware cache)")
+        print(f"  {'parallel':16s} partition-parallel scan benchmark "
+              "(serial vs sharded, determinism check)")
         return 0
 
     if args.metrics_out or args.telemetry:
@@ -147,6 +171,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if identifier.lower() == "serve":
             with obs.stopwatch("experiment.serve", seed=args.seed) as watch:
                 text = _run_serve(args)
+            per_experiment[identifier] = watch.elapsed_seconds
+            print(text + "\n")
+            continue
+        if identifier.lower() == "parallel":
+            with obs.stopwatch("experiment.parallel", seed=args.seed) as watch:
+                text = _run_parallel(args)
             per_experiment[identifier] = watch.elapsed_seconds
             print(text + "\n")
             continue

@@ -1,36 +1,31 @@
 """Thread-parallel execution of the Calculation module — paper Section VII-E.
 
 The paper's deployment story is "compute partial answers on each machine,
-then let a coordinator combine them".  Inside one process the same structure
-maps onto a thread pool: every block's sampling + iteration runs as an
-independent task (the per-block state is completely self-contained), and the
-Summarization step runs on the caller's thread.
+then let a coordinator combine them".  This extension predates the
+first-class partition backend and is now a thin compatibility shim over
+:class:`repro.parallel.PartitionParallelAggregator`: same per-block seed
+spawn (one ``SeedSequence`` child for the pre-phase, one per block in
+canonical order), same merge through Summarization, but with its own
+private pool sized by ``max_workers`` instead of the shared scan pool.
+
+Because both implementations follow the seed contract of
+:mod:`repro.parallel.seeding`, results for a given seed are bit-identical
+to the historical behaviour *and* to the new backend at any parallelism.
 """
 
 from __future__ import annotations
 
-import contextvars
-from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional
+from typing import Optional
 
-import numpy as np
-
-from repro import obs
-from repro.core.boundaries import DataBoundaries
-from repro.core.calculation import BlockCalculator
 from repro.core.config import ISLAConfig
-from repro.core.isla import ISLAAggregator
-from repro.core.pre_estimation import PreEstimator
-from repro.core.result import AggregateResult, BlockResult
-from repro.core.summarization import combine_block_results
 from repro.errors import EmptyDataError
-from repro.stats.confidence import ConfidenceInterval
-from repro.storage.blockstore import BlockStore
+from repro.parallel.isla import PartitionParallelAggregator
+from repro.parallel.pool import ScanPool
 
 __all__ = ["ParallelISLAAggregator"]
 
 
-class ParallelISLAAggregator(ISLAAggregator):
+class ParallelISLAAggregator(PartitionParallelAggregator):
     """ISLA aggregation where blocks are processed by a thread pool."""
 
     method = "ISLA-parallel"
@@ -41,90 +36,12 @@ class ParallelISLAAggregator(ISLAAggregator):
         max_workers: int = 4,
         seed: Optional[int] = None,
     ) -> None:
-        super().__init__(config, seed=seed)
         if max_workers < 1:
             raise EmptyDataError(f"max_workers must be positive, got {max_workers}")
+        super().__init__(
+            config,
+            seed=seed,
+            pool=ScanPool(max_workers=int(max_workers)),
+            parallelism=int(max_workers),
+        )
         self.max_workers = int(max_workers)
-
-    def aggregate_avg(
-        self,
-        store: BlockStore,
-        column: Optional[str] = None,
-        *,
-        rate: Optional[float] = None,
-        rng: Optional[np.random.Generator] = None,
-        pre_estimate=None,
-    ) -> AggregateResult:
-        """Parallel version of :meth:`ISLAAggregator.aggregate_avg`."""
-        column = store.validate_column(column)
-        if store.total_rows == 0:
-            raise EmptyDataError(f"store {store.name!r} has no rows")
-        seed_source = np.random.SeedSequence(
-            self._seed if self._seed is not None else None
-        )
-        with self._telemetry_scope(), obs.stopwatch(
-            "isla.parallel",
-            table=store.name,
-            column=column,
-            workers=self.max_workers,
-        ) as watch:
-            pre_rng = np.random.default_rng(seed_source.spawn(1)[0])
-            estimate = pre_estimate or PreEstimator(self.config).estimate(
-                store, column, pre_rng
-            )
-            sampling_rate = rate if rate is not None else estimate.sampling_rate
-            boundaries = DataBoundaries.from_sketch(
-                estimate.sketch0, estimate.sigma, p1=self.config.p1, p2=self.config.p2
-            )
-
-            calculator = BlockCalculator(self.config)
-            block_seeds = seed_source.spawn(store.block_count)
-            # One context copy per task: worker threads start with an empty
-            # context, so this is what keeps their spans attached to the
-            # current trace (each task needs its own copy because a Context
-            # cannot be entered concurrently).
-            block_contexts = [
-                contextvars.copy_context() for _ in range(store.block_count)
-            ]
-
-            def run_block(args) -> BlockResult:
-                block, child_seed, context = args
-                block_rng = np.random.default_rng(child_seed)
-                return context.run(
-                    calculator.run,
-                    block,
-                    column,
-                    sampling_rate,
-                    boundaries,
-                    estimate.sketch0,
-                    block_rng,
-                    sketch_interval_radius=estimate.relaxed_precision,
-                )
-
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                block_results: List[BlockResult] = list(
-                    pool.map(run_block, zip(store.blocks, block_seeds, block_contexts))
-                )
-
-            value = combine_block_results(block_results)
-        elapsed = watch.elapsed_seconds
-        interval = ConfidenceInterval(
-            center=value, radius=self.config.precision, confidence=self.config.confidence
-        )
-        return AggregateResult(
-            value=value,
-            aggregate="avg",
-            column=column,
-            table=store.name,
-            precision=self.config.precision,
-            confidence=self.config.confidence,
-            interval=interval,
-            sampling_rate=sampling_rate,
-            sample_size=sum(block.sample_size for block in block_results),
-            sketch0=estimate.sketch0,
-            sigma_estimate=estimate.sigma,
-            data_size=store.total_rows,
-            block_results=tuple(block_results),
-            method=self.method,
-            elapsed_seconds=elapsed,
-        )

@@ -1,0 +1,604 @@
+"""Partition-parallel partial aggregation for the sampling baselines.
+
+Every baseline estimator decomposes into a *pre phase* (pilot samples,
+boundary/allocation computation — serial, seeded by the scan's pre-seed),
+one or more *partition phases* (vectorised per-block scans sharded across
+the :class:`~repro.parallel.pool.ScanPool`, each partition consuming its own
+seed child), and a *merge* that combines the per-partition partials through
+the existing accumulator machinery (:class:`~repro.core.accumulators.RegionMoments`
+power sums and the size-weighted :func:`~repro.core.summarization.combine_partial_means`).
+
+Globally-coupled estimators split into multiple partition phases with a
+barrier between them: SLEV's leverage normaliser (``Σ x²``), BILEVEL's block
+leverages and EBS's value strata are each computed by a deterministic
+partial pass before the sampling pass.  The estimators stay unbiased — each
+partition estimates its own blocks' mean and the merge weights by block
+share, exactly the Summarization rule of the paper — and seeded results are
+bit-identical at every parallelism (see :mod:`repro.parallel.seeding`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.accumulators import RegionMoments
+from repro.core.boundaries import DataBoundaries
+from repro.core.summarization import combine_partial_means
+from repro.errors import EmptyDataError, SamplingError
+from repro.parallel.pool import ScanPool, shared_scan_pool
+from repro.parallel.seeding import (
+    SeedLike,
+    partition_generators,
+    spawn_scan_seeds,
+)
+from repro.sampling.base import BaselineAggregator, SampleEstimate
+from repro.stats.estimators import hansen_hurwitz_mean
+from repro.storage.blockstore import BlockStore
+
+__all__ = ["parallel_baseline_aggregate", "parallel_exact_mean"]
+
+#: a partition runner: maps a per-block function over blocks, in block order
+Runner = Callable[[Callable, Sequence], List]
+
+
+def parallel_baseline_aggregate(
+    aggregator: BaselineAggregator,
+    store: BlockStore,
+    column: Optional[str] = None,
+    *,
+    rate: Optional[float] = None,
+    precision: Optional[float] = None,
+    confidence: float = 0.95,
+    seed: SeedLike = None,
+    pool: Optional[ScanPool] = None,
+    parallelism: int = 1,
+) -> SampleEstimate:
+    """Run ``aggregator``'s estimator with a partition-parallel scan.
+
+    Accepts the same rate/precision resolution as
+    :meth:`~repro.sampling.base.BaselineAggregator.aggregate`; the pilot
+    sample behind a ``precision`` target draws from the scan's pre-seed
+    stream so the resolved rate is itself reproducible.
+    """
+    kernel = _KERNELS.get(aggregator.method)
+    if kernel is None:
+        raise SamplingError(
+            f"no partition-parallel kernel for method {aggregator.method!r}"
+        )
+    column = store.validate_column(column)
+    pool = pool if pool is not None else shared_scan_pool()
+    parallelism = max(1, int(parallelism))
+    if seed is None:
+        seed = aggregator.seed
+    pre_seed, partition_seeds = spawn_scan_seeds(seed, store.block_count)
+    pre_rng = np.random.default_rng(pre_seed)
+
+    with obs.span(
+        "parallel.scan",
+        method=aggregator.method,
+        table=store.name,
+        parallelism=parallelism,
+        partitions=store.block_count,
+    ) as sp:
+        resolved_rate = aggregator._resolve_rate(
+            store, column, rate=rate, precision=precision,
+            confidence=confidence, rng=pre_rng,
+        )
+
+        def run(function: Callable, items: Sequence) -> List:
+            return pool.map_partitions(function, items, parallelism)
+
+        estimate = kernel(
+            aggregator, store, column, resolved_rate, pre_rng, partition_seeds, run
+        )
+        sp.set_tag("rows", estimate.sample_size)
+        sp.set_tag("rate", resolved_rate)
+    obs.counter("parallel.partitions", store.block_count)
+    obs.counter("sample.rows", estimate.sample_size)
+    details = dict(estimate.details)
+    details["parallelism"] = parallelism
+    details["partitions"] = store.block_count
+    return SampleEstimate(
+        value=estimate.value,
+        sample_size=estimate.sample_size,
+        sampling_rate=estimate.sampling_rate,
+        method=estimate.method,
+        details=details,
+    )
+
+
+def parallel_exact_mean(
+    store: BlockStore,
+    column: Optional[str] = None,
+    *,
+    pool: Optional[ScanPool] = None,
+    parallelism: int = 1,
+) -> Tuple[float, int]:
+    """Exact ``(mean, rows)`` with per-block partial sums merged on the caller."""
+    column = store.validate_column(column)
+    pool = pool if pool is not None else shared_scan_pool()
+
+    def partial(block) -> Tuple[float, int]:
+        values = block.column(column)
+        return float(values.sum()), int(values.size)
+
+    partials = pool.map_partitions(partial, store.blocks, max(1, int(parallelism)))
+    total = sum(piece for piece, _ in partials)
+    rows = sum(count for _, count in partials)
+    if rows == 0:
+        raise SamplingError(f"store {store.name!r} has no rows")
+    return total / rows, rows
+
+
+# --------------------------------------------------------------------------
+# per-method kernels
+# --------------------------------------------------------------------------
+
+def _sample_share(rate: float, block_size: int) -> int:
+    """Per-block sample size at the global rate (the serial convention)."""
+    return int(round(rate * block_size))
+
+
+def _merged_moments(partials: Sequence[RegionMoments]) -> RegionMoments:
+    merged = RegionMoments()
+    for piece in partials:
+        merged.merge(piece)
+    return merged
+
+
+def _us_kernel(aggregator, store, column, rate, pre_rng, seeds, run) -> SampleEstimate:
+    bundles = partition_generators(seeds, 1)
+
+    def partial(task) -> RegionMoments:
+        block, (rng,) = task
+        share = _sample_share(rate, block.size)
+        if share <= 0 or block.size == 0:
+            return RegionMoments()
+        return RegionMoments.from_values(block.sample_column(column, share, rng))
+
+    merged = _merged_moments(run(partial, list(zip(store.blocks, bundles))))
+    if merged.count == 0:
+        # Same degenerate path (and exception branch) as the serial scan,
+        # which fails inside BlockStore.uniform_sample.
+        raise EmptyDataError(
+            f"sampling rate {rate} produced an empty sample over {store.name!r}"
+        )
+    mean = merged.total / merged.count
+    variance = max(0.0, merged.square_sum / merged.count - mean * mean)
+    return SampleEstimate(
+        value=float(mean),
+        sample_size=merged.count,
+        sampling_rate=rate,
+        method=aggregator.method,
+        details={"sample_std": math.sqrt(variance)},
+    )
+
+
+def _mv_kernel(aggregator, store, column, rate, pre_rng, seeds, run) -> SampleEstimate:
+    bundles = partition_generators(seeds, 1)
+
+    def partial(task) -> RegionMoments:
+        block, (rng,) = task
+        share = _sample_share(rate, block.size)
+        if share <= 0 or block.size == 0:
+            return RegionMoments()
+        return RegionMoments.from_values(block.sample_column(column, share, rng))
+
+    merged = _merged_moments(run(partial, list(zip(store.blocks, bundles))))
+    if merged.count == 0:
+        raise SamplingError("MV sampling produced an empty sample")
+    # sum(p_i * x_i) with p_i = x_i / sum(x) collapses to squareSum / sum —
+    # exactly the power sums the accumulators already carry.
+    estimate = merged.square_sum / merged.total if merged.total != 0.0 else 0.0
+    return SampleEstimate(
+        value=float(estimate),
+        sample_size=merged.count,
+        sampling_rate=rate,
+        method=aggregator.method,
+        details={"plain_mean": merged.total / merged.count},
+    )
+
+
+def _mvb_kernel(aggregator, store, column, rate, pre_rng, seeds, run) -> SampleEstimate:
+    pilot = store.pilot_sample(column, aggregator.pilot_size, pre_rng)
+    sketch = float(pilot.mean())
+    sigma = float(pilot.std())
+    boundaries = DataBoundaries.from_sketch(
+        sketch, sigma, p1=aggregator.p1, p2=aggregator.p2
+    )
+    bundles = partition_generators(seeds, 1)
+
+    def partial(task) -> Dict[int, RegionMoments]:
+        block, (rng,) = task
+        share = _sample_share(rate, block.size)
+        if share <= 0 or block.size == 0:
+            return {}
+        sample = block.sample_column(column, share, rng)
+        regions = boundaries.classify(sample)
+        moments: Dict[int, RegionMoments] = {}
+        for code in np.unique(regions):
+            moments[int(code)] = RegionMoments.from_values(sample[regions == code])
+        return moments
+
+    region_moments: Dict[int, RegionMoments] = {}
+    for piece in run(partial, list(zip(store.blocks, bundles))):
+        for code, moments in piece.items():
+            region_moments.setdefault(code, RegionMoments()).merge(moments)
+    total = sum(moments.count for moments in region_moments.values())
+    if total == 0:
+        raise SamplingError("MVB sampling produced an empty sample")
+    estimate = 0.0
+    region_stats = {}
+    for code in sorted(region_moments):
+        moments = region_moments[code]
+        share = moments.count / total
+        # share * sum(x_i^2) / sum(x_i) within the region; a zero-sum region
+        # contributes share * mean = 0, matching the serial degenerate path.
+        contribution = (
+            share * (moments.square_sum / moments.total) if moments.total != 0.0 else 0.0
+        )
+        estimate += contribution
+        region_stats[code] = {"count": moments.count, "contribution": contribution}
+    return SampleEstimate(
+        value=float(estimate),
+        sample_size=total,
+        sampling_rate=rate,
+        method=aggregator.method,
+        details={"sketch": sketch, "sigma": sigma, "regions": region_stats},
+    )
+
+
+def _sts_kernel(aggregator, store, column, rate, pre_rng, seeds, run) -> SampleEstimate:
+    sizes = store.block_sizes()
+    total_rows = sizes.sum()
+    budget = max(1, int(round(rate * total_rows)))
+    bundles = partition_generators(seeds, 2)  # pilot stream, sampling stream
+
+    if aggregator.allocation == "neyman":
+        def pilot(task) -> float:
+            block, (pilot_rng, _) = task
+            if block.size == 0:
+                return 0.0
+            share = min(aggregator.pilot_per_block, max(2, block.size))
+            return float(block.sample_column(column, share, pilot_rng).std())
+
+        deviations = np.asarray(run(pilot, list(zip(store.blocks, bundles))))
+        weights = sizes * deviations
+        if weights.sum() == 0.0:
+            weights = sizes
+        raw = budget * weights / weights.sum()
+    else:
+        raw = budget * sizes / sizes.sum()
+    allocations = np.maximum(1, np.round(raw)).astype(int)
+
+    def partial(task) -> Tuple[float, int]:
+        block, (_, sample_rng), share = task
+        if share <= 0 or block.size == 0:
+            return 0.0, 0
+        sample = block.sample_column(column, int(share), sample_rng)
+        return float(sample.mean()), int(sample.size)
+
+    results = run(
+        partial,
+        [
+            (block, bundle, int(share))
+            for block, bundle, share in zip(store.blocks, bundles, allocations)
+        ],
+    )
+    drawn = sum(count for _, count in results)
+    if drawn == 0:
+        raise SamplingError("stratified sampling produced an empty sample")
+    weights = sizes / total_rows
+    estimate = float(
+        sum(weight * mean for weight, (mean, _) in zip(weights, results))
+    )
+    return SampleEstimate(
+        value=estimate,
+        sample_size=drawn,
+        sampling_rate=rate,
+        method=aggregator.method,
+        details={
+            "allocation": aggregator.allocation,
+            "per_stratum": [int(a) for a in allocations],
+        },
+    )
+
+
+def _bilevel_kernel(aggregator, store, column, rate, pre_rng, seeds, run) -> SampleEstimate:
+    sizes = store.block_sizes()
+    total_rows = float(sizes.sum())
+    budget = max(1, int(round(rate * total_rows)))
+    bundles = partition_generators(seeds, 2)  # pilot stream, sampling stream
+
+    def pilot(task) -> float:
+        block, (pilot_rng, _) = task
+        if block.size == 0:
+            return 0.0
+        share = min(aggregator.pilot_per_block, max(2, block.size))
+        return float(block.sample_column(column, share, pilot_rng).var())
+
+    variances = np.asarray(run(pilot, list(zip(store.blocks, bundles))))
+    block_leverages = (1.0 + variances) / (len(sizes) + variances.sum())
+
+    def partial(task) -> Tuple[float, int]:
+        block, (_, sample_rng), leverage = task
+        share = int(round(budget * leverage))
+        share = max(1, min(share, max(1, block.size)))
+        if block.size == 0:
+            return 0.0, 0
+        sample = block.sample_column(column, share, sample_rng)
+        return float(sample.mean()), int(sample.size)
+
+    results = run(
+        partial,
+        [
+            (block, bundle, float(leverage))
+            for block, bundle, leverage in zip(store.blocks, bundles, block_leverages)
+        ],
+    )
+    drawn = sum(count for _, count in results)
+    if drawn == 0:
+        raise SamplingError("bi-level sampling produced an empty sample")
+    weights = sizes / total_rows
+    estimate = float(sum(weight * mean for weight, (mean, _) in zip(weights, results)))
+    return SampleEstimate(
+        value=estimate,
+        sample_size=drawn,
+        sampling_rate=rate,
+        method=aggregator.method,
+        details={
+            "block_leverages": [float(b) for b in block_leverages],
+            "per_block_sizes": [count for _, count in results],
+        },
+    )
+
+
+def _slev_kernel(aggregator, store, column, rate, pre_rng, seeds, run) -> SampleEstimate:
+    population = store.total_rows
+    if population == 0:
+        raise SamplingError("SLEV cannot aggregate an empty store")
+    sample_size = max(1, int(round(rate * population)))
+    alpha = aggregator.alpha
+    bundles = partition_generators(seeds, 1)
+
+    # Phase 1 — the leverage normaliser Σx² (SLEV's unavoidable full pass),
+    # computed as vectorised per-partition partials.
+    def square_partial(block) -> float:
+        values = block.column(column)
+        return float((values * values).sum())
+
+    square_sums = run(square_partial, list(store.blocks))
+    global_square = float(sum(square_sums))
+
+    # Per-block probability mass under pi_i = alpha*h_i + (1-alpha)/n.
+    block_sizes = store.block_sizes()
+    if global_square == 0.0:
+        masses = block_sizes / population
+    else:
+        masses = (
+            alpha * np.asarray(square_sums) / global_square
+            + (1.0 - alpha) * block_sizes / population
+        )
+
+    # Phase 2 — each partition draws its leverage share of the budget with
+    # within-block probabilities pi_i / mass_b and Hansen-Hurwitz-estimates
+    # its own blocks' mean; the merge weights by block share (unbiased).
+    def partial(task) -> Tuple[float, int, int]:
+        block, (rng,), mass = task
+        if block.size == 0:
+            return 0.0, 0, 0
+        draws = max(1, int(round(sample_size * mass)))
+        values = block.column(column)
+        if global_square == 0.0:
+            within = np.full(values.size, 1.0 / values.size)
+        else:
+            pi = alpha * values * values / global_square + (1.0 - alpha) / population
+            within = pi / pi.sum()
+        indices = rng.choice(values.size, size=draws, replace=True, p=within)
+        estimate = hansen_hurwitz_mean(
+            values[indices], within[indices], population_size=values.size
+        )
+        return float(estimate), int(block.size), draws
+
+    results = run(
+        partial,
+        [
+            (block, bundle, float(mass))
+            for block, bundle, mass in zip(store.blocks, bundles, masses)
+        ],
+    )
+    occupied = [(mean, size) for mean, size, _ in results if size > 0]
+    if not occupied:
+        raise SamplingError("SLEV sampling produced an empty sample")
+    estimate = combine_partial_means(
+        [mean for mean, _ in occupied], [size for _, size in occupied]
+    )
+    drawn = sum(draws for _, _, draws in results)
+    return SampleEstimate(
+        value=float(estimate),
+        sample_size=drawn,
+        sampling_rate=rate,
+        method=aggregator.method,
+        details={"alpha": alpha, "full_scan_required": True},
+    )
+
+
+def _ebs_kernel(aggregator, store, column, rate, pre_rng, seeds, run) -> SampleEstimate:
+    strata = aggregator.strata
+    population = store.total_rows
+    if population == 0:
+        raise SamplingError("cannot aggregate an empty store")
+    budget = max(strata, int(round(rate * population)))
+    bundles = partition_generators(seeds, 1)
+
+    # Phase 1 — global value range from per-partition extrema.
+    def extrema(block) -> Tuple[float, float]:
+        values = block.column(column)
+        if values.size == 0:
+            return math.inf, -math.inf
+        return float(values.min()), float(values.max())
+
+    bounds = run(extrema, list(store.blocks))
+    low = min(piece for piece, _ in bounds)
+    high = max(piece for _, piece in bounds)
+    if high == low:
+        return SampleEstimate(
+            value=low,
+            sample_size=min(budget, population),
+            sampling_rate=rate,
+            method=aggregator.method,
+            details={"degenerate": True},
+        )
+    edges = np.linspace(low, high, strata + 1)
+
+    # Phase 2 — per-partition per-stratum power sums (counts, Σx, Σx²)
+    # merged into the global stratum sizes and standard deviations.
+    def stratum_partial(block) -> np.ndarray:
+        stats = np.zeros((strata, 3), dtype=float)
+        values = block.column(column)
+        if values.size == 0:
+            return stats
+        assignments = np.clip(np.digitize(values, edges[1:-1]), 0, strata - 1)
+        for stratum in range(strata):
+            members = values[assignments == stratum]
+            if members.size:
+                stats[stratum] = (members.size, members.sum(), (members * members).sum())
+        return stats
+
+    per_block_stats = run(stratum_partial, list(store.blocks))
+    merged = np.sum(per_block_stats, axis=0)
+    stratum_sizes = merged[:, 0]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        stratum_means = np.where(stratum_sizes > 0, merged[:, 1] / np.maximum(stratum_sizes, 1), 0.0)
+        stratum_vars = np.where(
+            stratum_sizes > 0,
+            np.maximum(0.0, merged[:, 2] / np.maximum(stratum_sizes, 1) - stratum_means ** 2),
+            0.0,
+        )
+    stratum_stds = np.sqrt(stratum_vars)
+    weights = stratum_sizes * (stratum_stds + 1e-12)
+    if weights.sum() == 0.0:
+        weights = stratum_sizes
+    allocations = np.maximum(
+        (stratum_sizes > 0).astype(int),
+        np.round(budget * weights / weights.sum()).astype(int),
+    )
+
+    # Deterministic per-block shares: each block samples its local members
+    # of stratum s proportionally to its share of the stratum, with a
+    # canonical top-up so every non-empty stratum draws at least once.
+    counts = np.stack([stats[:, 0] for stats in per_block_stats])  # (blocks, strata)
+    shares = np.zeros_like(counts, dtype=int)
+    for stratum in range(strata):
+        if stratum_sizes[stratum] <= 0 or allocations[stratum] <= 0:
+            continue
+        raw = allocations[stratum] * counts[:, stratum] / stratum_sizes[stratum]
+        shares[:, stratum] = np.minimum(np.round(raw), counts[:, stratum]).astype(int)
+        if shares[:, stratum].sum() == 0:
+            first = int(np.argmax(counts[:, stratum] > 0))
+            shares[first, stratum] = 1
+
+    # Phase 3 — the only randomised pass: sample within each block-stratum.
+    def sample_partial(task) -> np.ndarray:
+        block, (rng,), block_shares = task
+        drawn = np.zeros((strata, 2), dtype=float)  # (count, sum) per stratum
+        if block.size == 0 or not block_shares.any():
+            return drawn
+        values = block.column(column)
+        assignments = np.clip(np.digitize(values, edges[1:-1]), 0, strata - 1)
+        for stratum in range(strata):
+            share = int(block_shares[stratum])
+            if share <= 0:
+                continue
+            members = values[assignments == stratum]
+            share = min(share, members.size)
+            if share <= 0:
+                continue
+            sample = members[rng.choice(members.size, size=share, replace=False)]
+            drawn[stratum] = (share, sample.sum())
+        return drawn
+
+    drawn_stats = np.sum(
+        run(
+            sample_partial,
+            [
+                (block, bundle, shares[index])
+                for index, (block, bundle) in enumerate(zip(store.blocks, bundles))
+            ],
+        ),
+        axis=0,
+    )
+    total_drawn = int(drawn_stats[:, 0].sum())
+    if total_drawn == 0:
+        raise SamplingError("error-bounded sampling produced an empty sample")
+    estimate = 0.0
+    for stratum in range(strata):
+        count = drawn_stats[stratum, 0]
+        if count <= 0:
+            continue
+        estimate += (stratum_sizes[stratum] / population) * (
+            drawn_stats[stratum, 1] / count
+        )
+    return SampleEstimate(
+        value=float(estimate),
+        sample_size=total_drawn,
+        sampling_rate=rate,
+        method=aggregator.method,
+        details={"strata": strata, "allocations": [int(a) for a in allocations]},
+    )
+
+
+def _block_kernel(aggregator, store, column, rate, pre_rng, seeds, run) -> SampleEstimate:
+    block_count = store.block_count
+    if block_count == 0:
+        raise SamplingError("block store has no blocks")
+    chosen_count = max(1, int(round(aggregator.block_fraction * block_count)))
+    chosen = set(
+        int(index)
+        for index in pre_rng.choice(block_count, size=chosen_count, replace=False)
+    )
+    total_rows = float(store.block_sizes().sum())
+    budget = max(1, int(round(rate * total_rows)))
+    per_block = max(1, budget // chosen_count)
+    bundles = partition_generators(seeds, 1)
+
+    def partial(task) -> RegionMoments:
+        index, block, (rng,) = task
+        if index not in chosen or block.size == 0:
+            return RegionMoments()
+        return RegionMoments.from_values(block.sample_column(column, per_block, rng))
+
+    merged = _merged_moments(
+        run(
+            partial,
+            [
+                (index, block, bundle)
+                for index, (block, bundle) in enumerate(zip(store.blocks, bundles))
+            ],
+        )
+    )
+    if merged.count == 0:
+        raise SamplingError("block-level sampling produced an empty sample")
+    return SampleEstimate(
+        value=float(merged.total / merged.count),
+        sample_size=merged.count,
+        sampling_rate=rate,
+        method=aggregator.method,
+        details={"blocks_used": sorted(chosen), "per_block": per_block},
+    )
+
+
+_KERNELS = {
+    "US": _us_kernel,
+    "STS": _sts_kernel,
+    "MV": _mv_kernel,
+    "MVB": _mvb_kernel,
+    "SLEV": _slev_kernel,
+    "BILEVEL": _bilevel_kernel,
+    "EBS": _ebs_kernel,
+    "BLOCK": _block_kernel,
+}

@@ -1,0 +1,159 @@
+"""The scan pool: bounded thread workers shared by every partition scan.
+
+One process gets one :class:`ScanPool` (lazily created, sized to the
+hardware unless ``REPRO_PARALLELISM`` overrides it).  Every parallel scan —
+whether issued directly through :class:`~repro.query.engine.AQPEngine` or by
+the serving layer's worker threads — submits its partition shards into this
+shared pool, so ``serve`` workers never oversubscribe the machine: total
+scan threads stay bounded by the pool size no matter how many queries are
+in flight.
+
+Determinism is *not* the pool's job: partitions carry their own random
+streams (see :mod:`repro.parallel.seeding`), so the pool is free to schedule
+shards in any order on any thread.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro import obs
+
+__all__ = ["ScanPool", "shared_scan_pool", "reset_shared_scan_pool", "default_parallelism"]
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+#: environment override for the shared pool size
+ENV_PARALLELISM = "REPRO_PARALLELISM"
+
+
+def default_parallelism() -> int:
+    """Default worker count: ``REPRO_PARALLELISM`` or the CPU count."""
+    override = os.environ.get(ENV_PARALLELISM)
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+class ScanPool:
+    """A bounded thread pool that maps ordered partition work.
+
+    The pool executes *shards* — contiguous runs of partitions — so the
+    per-task Python overhead is amortised while per-partition random
+    streams keep results independent of the shard split.  Results always
+    come back in partition order.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max(1, int(max_workers if max_workers is not None else default_parallelism()))
+        self._lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------ API
+    def map_partitions(
+        self,
+        function: Callable[[U], T],
+        items: Sequence[U],
+        parallelism: int,
+    ) -> List[T]:
+        """Apply ``function`` to every item, sharded across the pool.
+
+        ``parallelism`` is the number of shards this scan is willing to
+        run concurrently; the effective concurrency is additionally capped
+        by the pool's worker count (shards beyond it simply queue).  With
+        one shard (or one item) the work runs inline on the caller's
+        thread — no pool, no handoff — which keeps ``parallelism=1``
+        byte-for-byte equivalent to the threaded path.
+        """
+        items = list(items)
+        shard_count = max(1, min(int(parallelism), len(items)))
+        if shard_count <= 1:
+            return [function(item) for item in items]
+
+        # Contiguous shards in partition order; sizes differ by at most 1.
+        bounds = [
+            (len(items) * index) // shard_count for index in range(shard_count + 1)
+        ]
+        shards = [items[bounds[i] : bounds[i + 1]] for i in range(shard_count)]
+        # Worker threads start from an empty contextvars context; one copy
+        # per shard keeps their spans attached to the caller's trace (a
+        # Context cannot be entered concurrently, hence one per shard).
+        contexts = [contextvars.copy_context() for _ in shards]
+
+        def run_shard(shard: Sequence[U], context: contextvars.Context) -> List[T]:
+            return context.run(lambda: [function(item) for item in shard])
+
+        executor = self._ensure_executor()
+        obs.counter("parallel.shards", shard_count)
+        futures = [
+            executor.submit(run_shard, shard, context)
+            for shard, context in zip(shards, contexts)
+        ]
+        results: List[T] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def close(self) -> None:
+        """Shut the underlying executor down (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ScanPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------ internals
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-scan",
+                )
+                obs.gauge("parallel.pool.size", self.max_workers)
+            return self._executor
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "live" if self._executor is not None else "idle"
+        return f"ScanPool(max_workers={self.max_workers}, {state})"
+
+
+_shared_lock = threading.Lock()
+_shared_pool: Optional[ScanPool] = None
+
+
+def shared_scan_pool() -> ScanPool:
+    """The process-wide scan pool (lazily created).
+
+    Engine executors and serving workers all scan through this one pool, so
+    concurrent queries share the machine instead of multiplying thread
+    counts (``serve`` workers × scan parallelism).
+    """
+    global _shared_pool
+    with _shared_lock:
+        if _shared_pool is None:
+            _shared_pool = ScanPool()
+        return _shared_pool
+
+
+def reset_shared_scan_pool() -> None:
+    """Drop (and shut down) the shared pool — used by tests and benchmarks."""
+    global _shared_pool
+    with _shared_lock:
+        pool, _shared_pool = _shared_pool, None
+    if pool is not None:
+        pool.close()

@@ -1,0 +1,100 @@
+"""The seed-determinism contract shared by ``serve`` and ``parallel``.
+
+Both concurrency layers of the system follow one rule so that seeded runs
+are bit-for-bit reproducible regardless of how much hardware executes them:
+
+**every independently scheduled unit of randomness gets its own
+``np.random.SeedSequence`` child, spawned from one root in a canonical
+order that does not depend on worker count or scheduling.**
+
+* The serving layer (:mod:`repro.serve`) spawns one child per *submitted
+  query*, in submission order, so a seeded :class:`~repro.serve.QueryService`
+  answers identically no matter how its worker threads interleave.
+* The parallel scan backend (:mod:`repro.parallel`) spawns one child per
+  *partition* (storage block), in canonical block order, plus one leading
+  child for the pre-scan phase (pilot sampling / pre-estimation).  Worker
+  threads only decide *when* a partition runs, never *which random stream*
+  it consumes, so estimates and confidence bounds are bit-identical at
+  parallelism 1, 2, 4, ... for the same seed.
+
+The two layers compose: a served query's child seed becomes the root of
+that query's partition spawn.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "as_seed_sequence", "spawn_scan_seeds", "partition_generators"]
+
+#: anything the scan backend accepts as a reproducibility root
+SeedLike = Union[None, int, np.integer, np.random.SeedSequence, np.random.Generator]
+
+
+def as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Normalise ``seed`` into a :class:`np.random.SeedSequence` root.
+
+    ``None`` and integers build a fresh sequence; an existing sequence is
+    *rebuilt* from its entropy and spawn key (the serving layer passes the
+    per-query child it spawned at submit time) so that spawning partition
+    children never mutates the caller's object — the same root therefore
+    always yields the same partition seeds, no matter how many scans it
+    roots; a ``Generator`` contributes its own bit generator's sequence,
+    so explicitly-seeded generators stay reproducible.
+    """
+    if isinstance(seed, np.random.Generator):
+        state_seq = seed.bit_generator.seed_seq
+        seed = state_seq if isinstance(state_seq, np.random.SeedSequence) else None
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.SeedSequence(
+            entropy=seed.entropy, spawn_key=seed.spawn_key
+        )
+    return np.random.SeedSequence(seed)
+
+
+def spawn_scan_seeds(
+    seed: SeedLike, partition_count: int
+) -> Tuple[np.random.SeedSequence, List[np.random.SeedSequence]]:
+    """Spawn ``(pre_seed, partition_seeds)`` for one partition-parallel scan.
+
+    The first child seeds the scan's serial pre-phase (pilot samples,
+    pre-estimation, block selection); the remaining ``partition_count``
+    children seed the partitions in canonical partition order.  The spawn
+    depends only on ``seed`` and ``partition_count`` — never on the pool
+    size — which is what makes seeded scans bit-identical across
+    parallelism levels.
+    """
+    if partition_count < 0:
+        raise ValueError(f"partition_count must be non-negative, got {partition_count}")
+    root = as_seed_sequence(seed)
+    children = root.spawn(partition_count + 1)
+    return children[0], list(children[1:])
+
+
+def partition_generators(
+    partition_seeds: Sequence[np.random.SeedSequence],
+    streams_per_partition: int = 1,
+) -> List[List[np.random.Generator]]:
+    """Build per-partition generator bundles from spawned partition seeds.
+
+    Multi-phase estimators (e.g. BILEVEL's pilot-then-sample passes) need
+    more than one independent stream per partition; each partition's seed
+    spawns ``streams_per_partition`` grandchildren so every phase has its
+    own stream, again in a canonical order.
+    """
+    if streams_per_partition < 1:
+        raise ValueError(
+            f"streams_per_partition must be positive, got {streams_per_partition}"
+        )
+    bundles: List[List[np.random.Generator]] = []
+    for child in partition_seeds:
+        grandchildren = child.spawn(streams_per_partition)
+        bundles.append([np.random.default_rng(grand) for grand in grandchildren])
+    return bundles
+
+
+def partition_rng(seed: Optional[np.random.SeedSequence]) -> np.random.Generator:
+    """A generator for one partition task (tiny convenience wrapper)."""
+    return np.random.default_rng(seed)

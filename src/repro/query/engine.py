@@ -39,9 +39,17 @@ class AQPEngine:
         config: Optional[ISLAConfig] = None,
         seed: Optional[int] = None,
         telemetry: Optional[obs.Telemetry] = None,
+        parallelism: Optional[int] = None,
     ) -> None:
         self.catalog = Catalog()
         self.config = config or ISLAConfig()
+        # ``parallelism`` is a convenience override: every plan built from
+        # this engine scans through the partition backend at that width.
+        # Seeded answers stay bit-identical across widths (the partition
+        # seed-spawn never depends on worker count), so flipping this knob
+        # cannot change any result — see repro.parallel.seeding.
+        if parallelism is not None:
+            self.config = self.config.with_updates(parallelism=parallelism)
         self.seed = seed
         self._executor = QueryExecutor(seed=seed)
         # Precedence: explicit instance > config toggle > ambient default.

@@ -98,12 +98,31 @@ class QueryExecutor:
     ) -> ExecutionResult:
         method = plan.method
         query = plan.query
+        # None = legacy serial scan; any integer (including 1) routes through
+        # the partition backend, so parallelism 1/2/4 are mutually
+        # bit-identical for a given seed.  Time-constrained execution keeps
+        # its own serial budget loop.
+        parallelism = plan.config.parallelism
 
         if query.time_budget_ms is not None:
             return self._execute_time_constrained(plan, watch, seed)
 
         if method == "EXACT":
-            value = self._exact_value(plan)
+            if parallelism is not None:
+                from repro.parallel import parallel_exact_mean
+
+                mean, rows = parallel_exact_mean(
+                    plan.store, plan.column, parallelism=parallelism
+                )
+                value = mean * rows if query.aggregate == "sum" else mean
+                details = {
+                    "full_scan": True,
+                    "parallelism": parallelism,
+                    "partitions": plan.store.block_count,
+                }
+            else:
+                value = self._exact_value(plan)
+                details = {"full_scan": True}
             return ExecutionResult(
                 value=value,
                 method=method,
@@ -112,15 +131,26 @@ class QueryExecutor:
                 table=plan.store.name,
                 sample_size=plan.store.total_rows,
                 elapsed_seconds=watch.elapsed_seconds,
-                details={"full_scan": True},
+                details=details,
             )
 
         if method == "ISLA":
-            aggregator = ISLAAggregator(plan.config, seed=seed)
+            if parallelism is not None:
+                from repro.parallel import PartitionParallelAggregator
+
+                aggregator = PartitionParallelAggregator(
+                    plan.config, seed=seed, parallelism=parallelism
+                )
+            else:
+                aggregator = ISLAAggregator(plan.config, seed=seed)
             if query.aggregate == "avg":
                 result = aggregator.aggregate_avg(plan.store, plan.column)
             else:
                 result = aggregator.aggregate_sum(plan.store, plan.column)
+            details = result.to_dict()
+            if parallelism is not None:
+                details["parallelism"] = parallelism
+                details["partitions"] = plan.store.block_count
             return ExecutionResult(
                 value=result.value,
                 method=method,
@@ -129,7 +159,7 @@ class QueryExecutor:
                 table=plan.store.name,
                 sample_size=result.sample_size,
                 elapsed_seconds=watch.elapsed_seconds,
-                details=result.to_dict(),
+                details=details,
                 raw=result,
             )
 
@@ -140,6 +170,7 @@ class QueryExecutor:
                 plan.column,
                 precision=plan.config.precision,
                 confidence=plan.config.confidence,
+                parallelism=parallelism,
             )
             value = estimate.value
             if query.aggregate == "sum":

@@ -66,13 +66,35 @@ class BaselineAggregator(abc.ABC):
         precision: Optional[float] = None,
         confidence: float = 0.95,
         rng: Optional[np.random.Generator] = None,
+        parallelism: Optional[int] = None,
+        pool: Optional[Any] = None,
     ) -> SampleEstimate:
         """Estimate AVG(column) over ``store``.
 
         Exactly one of ``rate`` and ``precision`` must be provided: ``rate``
         fixes the sampling rate directly, while ``precision`` derives it from
         Eq. 1 using a pilot estimate of sigma.
+
+        ``parallelism=None`` (the default) runs the estimator's own serial
+        scan.  Any integer — including 1 — runs the method's
+        partition-parallel kernel instead (:mod:`repro.parallel.baselines`),
+        whose seeded results are bit-identical across parallelism levels;
+        ``pool`` optionally overrides the shared scan pool.
         """
+        if parallelism is not None:
+            from repro.parallel.baselines import parallel_baseline_aggregate
+
+            return parallel_baseline_aggregate(
+                self,
+                store,
+                column,
+                rate=rate,
+                precision=precision,
+                confidence=confidence,
+                seed=rng if rng is not None else self.seed,
+                pool=pool,
+                parallelism=parallelism,
+            )
         column = store.validate_column(column)
         generator = rng if rng is not None else np.random.default_rng(self.seed)
         resolved_rate = self._resolve_rate(

@@ -46,8 +46,14 @@ def build_workload(
     return workload
 
 
-def _build_engine(table_count: int, data_size: int, seed: int, block_count: int) -> AQPEngine:
-    engine = AQPEngine(seed=seed)
+def _build_engine(
+    table_count: int,
+    data_size: int,
+    seed: int,
+    block_count: int,
+    parallelism: Optional[int] = None,
+) -> AQPEngine:
+    engine = AQPEngine(seed=seed, parallelism=parallelism)
     rng = np.random.default_rng(seed)
     for index in range(table_count):
         values = rng.normal(100.0 + 10.0 * index, 20.0, data_size)
@@ -63,13 +69,19 @@ def run_throughput_benchmark(
     seed: int = 0,
     block_count: int = 16,
     include_uncached_pool: bool = True,
+    parallelism: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """Run the three configurations over one workload; returns a report dict."""
+    """Run the three configurations over one workload; returns a report dict.
+
+    ``parallelism`` routes every scan through the partition backend; serve
+    workers submit their shards into the one shared scan pool, so worker
+    threads multiply throughput without multiplying scan threads.
+    """
     workload = build_workload(table_count, repeats, seed)
     truths = {}
 
     # ------------------------------------------------------- serial baseline
-    engine = _build_engine(table_count, data_size, seed, block_count)
+    engine = _build_engine(table_count, data_size, seed, block_count, parallelism)
     for index in range(table_count):
         name = f"serve_t{index}"
         truths[name] = engine.catalog.resolve(name).exact_mean()
@@ -78,7 +90,7 @@ def run_throughput_benchmark(
     serial_seconds = time.perf_counter() - start
 
     # ------------------------------------------------- worker pool + cache
-    engine = _build_engine(table_count, data_size, seed, block_count)
+    engine = _build_engine(table_count, data_size, seed, block_count, parallelism)
     service = QueryService(
         engine,
         ServeConfig(workers=workers, max_queue=max(len(workload), 1), seed=seed),
@@ -92,7 +104,7 @@ def run_throughput_benchmark(
     # --------------------------------------------------- pool, cache off
     uncached_seconds: Optional[float] = None
     if include_uncached_pool:
-        engine = _build_engine(table_count, data_size, seed, block_count)
+        engine = _build_engine(table_count, data_size, seed, block_count, parallelism)
         with QueryService(
             engine,
             ServeConfig(

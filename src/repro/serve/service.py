@@ -17,7 +17,18 @@
 
 Every submitted query derives an independent child of one
 ``np.random.SeedSequence`` (in submission order), so a seeded service
-produces bit-identical answers regardless of worker interleaving.
+produces bit-identical answers regardless of worker interleaving.  This is
+one half of the seed-determinism contract shared with the partition
+backend and documented in :mod:`repro.parallel.seeding`: a served query's
+child seed becomes the root of that query's per-partition spawn, so
+serving-level and scan-level concurrency compose without ever changing a
+seeded answer.
+
+When the engine's config sets ``parallelism``, worker threads shard their
+block scans into the one process-wide scan pool
+(:func:`repro.parallel.pool.shared_scan_pool`) — total scan threads stay
+bounded by the pool size no matter how many service workers are executing,
+so serving concurrency never oversubscribes the machine.
 """
 
 from __future__ import annotations
@@ -522,10 +533,34 @@ class QueryService:
                         queue_seconds=queue_seconds,
                         total_seconds=time.monotonic() - item.enqueued_at,
                     )
+                backoff = self.config.retry_backoff_seconds * (2 ** (attempts - 1))
+                if item.deadline is not None:
+                    # A retry must not outlive its deadline: if the deadline
+                    # has passed — or would pass while backing off — shed the
+                    # query now rather than answer late.
+                    remaining = item.deadline - time.monotonic()
+                    if remaining <= backoff:
+                        with self._lock:
+                            self._shed_deadline += 1
+                        obs.counter("serve.deadline.shed")
+                        return QueryOutcome(
+                            statement=item.statement,
+                            status="rejected",
+                            rejection=Rejected(
+                                reason="deadline",
+                                message=(
+                                    f"deadline reached after {attempts} "
+                                    f"attempt(s); not retrying"
+                                ),
+                            ),
+                            error=exc,
+                            attempts=attempts,
+                            queue_seconds=queue_seconds,
+                            total_seconds=time.monotonic() - item.enqueued_at,
+                        )
                 with self._lock:
                     self._retries += 1
                 obs.counter("serve.retry")
-                backoff = self.config.retry_backoff_seconds * (2 ** (attempts - 1))
                 if backoff > 0:
                     time.sleep(backoff)
                 # a fresh child stream for the retry: a deterministic failure

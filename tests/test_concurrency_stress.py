@@ -1,0 +1,280 @@
+"""Concurrency stress tests: versioned Catalog + ResultCache under fire.
+
+Two layers are hammered:
+
+* the primitives directly — reader threads racing mutator threads that
+  append / re-register / touch tables, asserting the version-keyed cache
+  never serves an entry across versions and that a final invalidation
+  leaves nothing behind;
+* the serving stack end-to-end — queries racing online appends through a
+  :class:`~repro.serve.QueryService`, asserting answers stay correct and
+  post-append queries never hit pre-append cache entries.
+
+Every join carries a timeout: a deadlock shows up as a test failure, not a
+hung CI job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.query.engine import AQPEngine
+from repro.query.executor import ExecutionResult
+from repro.serve import CacheKey, QueryService, ResultCache, ServeConfig
+from repro.storage.blockstore import BlockStore
+from repro.storage.catalog import Catalog
+
+JOIN_TIMEOUT = 20.0  # seconds; generous — only a deadlock gets near it
+
+TABLES = ("alpha", "beta")
+
+
+def _signature(table: str) -> tuple:
+    # Shape mirrors AggregateQuery.cache_signature(): table name at index 2.
+    return ("avg", "value", table, 0.5, 0.95)
+
+
+def _result(table: str, version: int) -> ExecutionResult:
+    return ExecutionResult(
+        value=float(version),
+        method="ISLA",
+        aggregate="avg",
+        column="value",
+        table=table,
+        sample_size=1,
+        elapsed_seconds=0.0,
+        details={"version": version},
+    )
+
+
+def _join_all(threads):
+    deadline = time.monotonic() + JOIN_TIMEOUT
+    for thread in threads:
+        thread.join(timeout=max(0.0, deadline - time.monotonic()))
+    stuck = [thread.name for thread in threads if thread.is_alive()]
+    assert not stuck, f"deadlock suspected: threads still alive: {stuck}"
+
+
+class TestCacheCatalogHammer:
+    def test_no_cross_version_hit_and_clean_final_invalidation(self):
+        catalog = Catalog()
+        cache = ResultCache(capacity=128)
+        rng = np.random.default_rng(0)
+        for table in TABLES:
+            catalog.register(
+                BlockStore.from_array(table, rng.normal(0, 1, 64), block_count=2)
+            )
+
+        stop = threading.Event()
+        errors = []
+        hits = [0]
+        lookups = [0]
+        lock = threading.Lock()
+
+        def reader(index: int):
+            local_rng = np.random.default_rng(index)
+            try:
+                while not stop.is_set():
+                    table = TABLES[int(local_rng.integers(len(TABLES)))]
+                    version = catalog.version(table)
+                    key = CacheKey(
+                        signature=_signature(table), table_version=version
+                    )
+                    entry = cache.lookup(key, 0.5, 0.95)
+                    with lock:
+                        lookups[0] += 1
+                    if entry is None:
+                        cache.put(key, _result(table, version), 0.3, 0.95)
+                    else:
+                        # The one invariant that makes version-keyed caching
+                        # sound: a hit can never bleed across versions.
+                        if entry.key.table_version != version:
+                            raise AssertionError(
+                                f"stale hit: entry v{entry.key.table_version} "
+                                f"served for v{version}"
+                            )
+                        if entry.result.details["version"] != version:
+                            raise AssertionError("entry content from another version")
+                        with lock:
+                            hits[0] += 1
+            except Exception as exc:  # noqa: BLE001 - surfaced by the main thread
+                errors.append(exc)
+
+        def mutator(index: int):
+            local_rng = np.random.default_rng(1000 + index)
+            try:
+                for _ in range(150):
+                    table = TABLES[int(local_rng.integers(len(TABLES)))]
+                    action = int(local_rng.integers(3))
+                    if action == 0:
+                        catalog.touch(table)
+                    elif action == 1:
+                        catalog.register(
+                            BlockStore.from_array(
+                                table, local_rng.normal(0, 1, 64), block_count=2
+                            )
+                        )
+                    else:
+                        catalog.resolve(table).append_block(
+                            local_rng.normal(0, 1, 16)
+                        )
+                        catalog.touch(table)
+                    # eager invalidation, as the serving layer does on events
+                    cache.invalidate_table(table)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        readers = [
+            threading.Thread(target=reader, args=(i,), name=f"reader-{i}")
+            for i in range(6)
+        ]
+        mutators = [
+            threading.Thread(target=mutator, args=(i,), name=f"mutator-{i}")
+            for i in range(3)
+        ]
+        for thread in readers + mutators:
+            thread.start()
+        _join_all(mutators)
+        stop.set()
+        _join_all(readers)
+
+        assert not errors, errors
+        assert lookups[0] > 0
+
+        # Final invalidation: nothing for either table may survive, at any
+        # version — old keys must all miss afterwards.
+        final_versions = {table: catalog.touch(table) for table in TABLES}
+        for table in TABLES:
+            cache.invalidate_table(table)
+        assert len(cache) == 0
+        for table in TABLES:
+            for version in range(final_versions[table] + 1):
+                key = CacheKey(signature=_signature(table), table_version=version)
+                assert cache.lookup(key, 0.5, 0.95) is None
+
+    def test_concurrent_puts_keep_cache_bounded(self):
+        cache = ResultCache(capacity=16)
+        errors = []
+
+        def writer(index: int):
+            try:
+                for i in range(400):
+                    key = CacheKey(
+                        signature=("avg", "value", f"t{index}", float(i % 7), 0.95),
+                        table_version=i,
+                    )
+                    cache.put(key, _result(f"t{index}", i), 0.3, 0.95)
+                    cache.lookup(key, 0.5, 0.95)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,), name=f"writer-{i}")
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        _join_all(threads)
+        assert not errors, errors
+        assert len(cache) <= 16
+
+
+class TestServiceUnderMutation:
+    @pytest.fixture
+    def engine(self) -> AQPEngine:
+        engine = AQPEngine(seed=5)
+        rng = np.random.default_rng(5)
+        engine.register_array(
+            "live", rng.normal(100.0, 5.0, 12_000), block_count=6
+        )
+        return engine
+
+    def test_queries_racing_appends_stay_correct(self, engine):
+        statement = "SELECT AVG(value) FROM live PRECISION 1.0 CONFIDENCE 0.99"
+        service = QueryService(
+            engine, ServeConfig(workers=3, max_queue=256, seed=5)
+        )
+        errors = []
+        outcomes = []
+        outcome_lock = threading.Lock()
+
+        def querier(index: int):
+            try:
+                for _ in range(20):
+                    outcome = service.submit(statement).outcome(timeout=JOIN_TIMEOUT)
+                    with outcome_lock:
+                        outcomes.append(outcome)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def appender():
+            rng = np.random.default_rng(77)
+            try:
+                for _ in range(10):
+                    engine.append_array("live", rng.normal(100.0, 5.0, 500))
+                    time.sleep(0.002)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        with service:
+            threads = [
+                threading.Thread(target=querier, args=(i,), name=f"querier-{i}")
+                for i in range(4)
+            ] + [threading.Thread(target=appender, name="appender")]
+            for thread in threads:
+                thread.start()
+            _join_all(threads)
+
+        assert not errors, errors
+        assert len(outcomes) == 80
+        truth = engine.catalog.resolve("live").exact_mean()
+        for outcome in outcomes:
+            assert outcome.ok, outcome.error
+            # Data only ever shifts by i.i.d. appends from the same
+            # distribution; a very loose band still catches garbage reads.
+            assert abs(outcome.result.value - truth) <= 4.0
+
+    def test_append_invalidates_no_stale_hit_survives(self, engine):
+        statement = "SELECT AVG(value) FROM live PRECISION 1.0 CONFIDENCE 0.99"
+        with QueryService(engine, ServeConfig(workers=2, seed=5)) as service:
+            first = service.submit(statement).outcome(timeout=JOIN_TIMEOUT)
+            warmed = service.submit(statement).outcome(timeout=JOIN_TIMEOUT)
+            assert first.ok and warmed.ok
+            assert warmed.cache_hit  # cache warmed at the old version
+
+            engine.append_array("live", np.full(4_000, 200.0))  # shifts the mean
+
+            after = service.submit(statement).outcome(timeout=JOIN_TIMEOUT)
+            assert after.ok
+            assert not after.cache_hit  # the append invalidated the entry
+            new_truth = engine.catalog.resolve("live").exact_mean()
+            assert abs(after.result.value - new_truth) <= 2.0
+            assert after.result.value != first.result.value
+
+    def test_service_with_parallel_scans_under_appends(self, engine):
+        # Serving concurrency on top of partition-parallel scans: workers
+        # share the process-wide scan pool, results must stay correct.
+        from repro.parallel import reset_shared_scan_pool
+
+        engine.config = engine.config.with_updates(parallelism=2)
+        statement = "SELECT AVG(value) FROM live PRECISION 1.0 CONFIDENCE 0.99"
+        reset_shared_scan_pool()
+        try:
+            with QueryService(
+                engine, ServeConfig(workers=3, max_queue=64, seed=5)
+            ) as service:
+                tickets = [service.submit(statement) for _ in range(24)]
+                engine.append_array("live", np.random.default_rng(9).normal(100, 5, 500))
+                tickets += [service.submit(statement) for _ in range(24)]
+                outcomes = [t.outcome(timeout=JOIN_TIMEOUT) for t in tickets]
+            truth = engine.catalog.resolve("live").exact_mean()
+            for outcome in outcomes:
+                assert outcome.ok, outcome.error
+                assert outcome.result.details.get("parallelism") in (None, 2)
+                assert abs(outcome.result.value - truth) <= 4.0
+        finally:
+            reset_shared_scan_pool()

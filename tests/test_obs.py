@@ -294,8 +294,9 @@ class TestQueryTelemetry:
                 ISLAConfig(precision=0.5), max_workers=4, seed=6
             ).aggregate_avg(store)
         root = telemetry.tracer.last_trace()
-        assert root.name == "isla.parallel"
+        assert root.name == "parallel.scan"
         # Worker-thread spans attach to the same trace via context copies.
+        assert len(root.find_all("parallel.partition")) == store.block_count
         assert len(root.find_all("sample.draw")) == store.block_count
 
     def test_timed_extension_replaces_manual_timing(self, store):

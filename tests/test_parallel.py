@@ -1,0 +1,295 @@
+"""Determinism regression suite for the partition-parallel backend.
+
+The contract under test (:mod:`repro.parallel.seeding`): for a fixed seed,
+estimates, CI bounds and sample sizes are **bit-identical** — not merely
+close — at parallelism 1, 2 and 4, for every aggregate type and every
+sampler.  Worker threads may only change *when* a partition runs, never
+*which random stream* it consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ISLAConfig
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    PartitionParallelAggregator,
+    ScanPool,
+    as_seed_sequence,
+    parallel_baseline_aggregate,
+    parallel_exact_mean,
+    partition_generators,
+    reset_shared_scan_pool,
+    spawn_scan_seeds,
+)
+from repro.parallel.bench import build_bench_store, run_benchmark
+from repro.query.engine import AQPEngine
+from repro.sampling import (
+    BiLevelAggregator,
+    BlockLevelAggregator,
+    ErrorBoundedStratifiedAggregator,
+    MeasureBiasedBoundaryAggregator,
+    MeasureBiasedValueAggregator,
+    SlevAggregator,
+    StratifiedAggregator,
+    UniformAggregator,
+)
+
+PARALLELISM_LEVELS = (1, 2, 4)
+
+#: every sampler of the comparison suite, as zero-argument factories
+SAMPLERS = {
+    "uniform": UniformAggregator,
+    "stratified": StratifiedAggregator,
+    "stratified-neyman": lambda: StratifiedAggregator(allocation="neyman"),
+    "measure-biased": MeasureBiasedValueAggregator,
+    "measure-biased-boundary": MeasureBiasedBoundaryAggregator,
+    "slev": SlevAggregator,
+    "bilevel": BiLevelAggregator,
+    "error-bounded": ErrorBoundedStratifiedAggregator,
+    "block-level": BlockLevelAggregator,
+}
+
+
+@pytest.fixture(scope="module")
+def drift_store():
+    """A multi-block table whose blocks have different means (non-i.i.d.)."""
+    return build_bench_store(12_000, 8, seed=3, name="drift")
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ScanPool(max_workers=4) as shared:
+        yield shared
+
+
+class TestSeedContract:
+    def test_spawn_is_independent_of_worker_count(self):
+        # The spawn takes no pool/worker information at all: same inputs,
+        # same children, regardless of how the scan will be scheduled.
+        first = spawn_scan_seeds(123, 8)
+        second = spawn_scan_seeds(123, 8)
+        assert first[0].entropy == second[0].entropy
+        for left, right in zip(first[1], second[1]):
+            assert left.spawn_key == right.spawn_key
+
+    def test_generator_roots_at_its_seed_sequence(self):
+        generator = np.random.default_rng(99)
+        assert as_seed_sequence(generator).entropy == 99
+
+    def test_seed_sequence_root_never_mutated(self):
+        # Rooting many scans at the same SeedSequence must not advance its
+        # spawn counter — every scan sees the same partition seeds.
+        child = np.random.SeedSequence(5).spawn(1)[0]
+        first = spawn_scan_seeds(child, 4)
+        second = spawn_scan_seeds(child, 4)
+        assert child.n_children_spawned == 0
+        assert [s.spawn_key for s in first[1]] == [s.spawn_key for s in second[1]]
+        root = as_seed_sequence(child)
+        assert (root.entropy, root.spawn_key) == (child.entropy, child.spawn_key)
+
+    def test_partition_generators_bundle_size(self):
+        _, seeds = spawn_scan_seeds(0, 4)
+        bundles = partition_generators(seeds, streams_per_partition=2)
+        assert len(bundles) == 4
+        assert all(len(bundle) == 2 for bundle in bundles)
+
+    def test_negative_partition_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_scan_seeds(0, -1)
+
+
+class TestScanPool:
+    def test_results_keep_partition_order(self):
+        with ScanPool(max_workers=4) as pool:
+            for parallelism in (1, 2, 3, 4, 9):
+                out = pool.map_partitions(lambda x: x * x, list(range(13)), parallelism)
+                assert out == [x * x for x in range(13)]
+
+    def test_parallelism_one_runs_inline(self):
+        pool = ScanPool(max_workers=4)
+        pool.map_partitions(lambda x: x, [1, 2, 3], 1)
+        assert pool._executor is None  # never spun up
+        pool.close()
+
+    def test_shared_pool_reset(self):
+        from repro.parallel import shared_scan_pool
+
+        reset_shared_scan_pool()
+        first = shared_scan_pool()
+        assert shared_scan_pool() is first
+        reset_shared_scan_pool()
+        assert shared_scan_pool() is not first
+
+
+class TestISLADeterminism:
+    @pytest.mark.parametrize("aggregate", ["avg", "sum"])
+    def test_bit_identical_across_parallelism(self, drift_store, pool, aggregate):
+        config = ISLAConfig(precision=0.5)
+        answers = set()
+        for parallelism in PARALLELISM_LEVELS:
+            aggregator = PartitionParallelAggregator(
+                config, seed=11, pool=pool, parallelism=parallelism
+            )
+            if aggregate == "avg":
+                result = aggregator.aggregate_avg(drift_store)
+            else:
+                result = aggregator.aggregate_sum(drift_store)
+            answers.add(
+                (result.value, result.interval.low, result.interval.high,
+                 result.sample_size)
+            )
+        assert len(answers) == 1
+
+    def test_accuracy_against_truth(self, drift_store, pool):
+        config = ISLAConfig(precision=0.5)
+        truth = drift_store.exact_mean()
+        result = PartitionParallelAggregator(
+            config, seed=11, pool=pool, parallelism=4
+        ).aggregate_avg(drift_store)
+        assert abs(result.value - truth) <= 2 * config.precision
+
+    def test_seed_sequence_root_accepted(self, drift_store, pool):
+        # The serving layer hands per-query SeedSequence children down as
+        # scan roots; the two layers must compose deterministically.
+        child = np.random.SeedSequence(7).spawn(3)[1]
+        values = {
+            PartitionParallelAggregator(
+                ISLAConfig(precision=0.5), seed=child, pool=pool, parallelism=p
+            ).aggregate_avg(drift_store).value
+            for p in PARALLELISM_LEVELS
+        }
+        assert len(values) == 1
+
+
+class TestBaselineDeterminism:
+    @pytest.mark.parametrize("name", sorted(SAMPLERS))
+    def test_bit_identical_across_parallelism(self, drift_store, pool, name):
+        answers = set()
+        for parallelism in PARALLELISM_LEVELS:
+            estimate = parallel_baseline_aggregate(
+                SAMPLERS[name](), drift_store, rate=0.05,
+                seed=5, pool=pool, parallelism=parallelism,
+            )
+            answers.add((estimate.value, estimate.sample_size))
+        assert len(answers) == 1
+
+    @pytest.mark.parametrize("name", sorted(SAMPLERS))
+    def test_estimates_land_near_truth(self, drift_store, pool, name):
+        truth = drift_store.exact_mean()
+        estimate = parallel_baseline_aggregate(
+            SAMPLERS[name](), drift_store, rate=0.1,
+            seed=5, pool=pool, parallelism=4,
+        )
+        # MV is intentionally biased to (mu^2 + sigma^2) / mu; every other
+        # sampler should land within a loose tolerance of the truth.
+        tolerance = 8.0 if name == "measure-biased" else 4.0
+        assert abs(estimate.value - truth) <= tolerance
+
+    def test_details_carry_parallelism(self, drift_store, pool):
+        estimate = parallel_baseline_aggregate(
+            UniformAggregator(), drift_store, rate=0.05,
+            seed=5, pool=pool, parallelism=2,
+        )
+        assert estimate.details["parallelism"] == 2
+        assert estimate.details["partitions"] == drift_store.block_count
+
+    def test_precision_target_resolves_deterministically(self, drift_store, pool):
+        values = {
+            parallel_baseline_aggregate(
+                UniformAggregator(), drift_store, precision=1.0,
+                seed=5, pool=pool, parallelism=p,
+            ).value
+            for p in PARALLELISM_LEVELS
+        }
+        assert len(values) == 1
+
+    def test_aggregate_entry_point_delegates(self, drift_store, pool):
+        # BaselineAggregator.aggregate(parallelism=...) must route through
+        # the same kernels as the direct call.
+        direct = parallel_baseline_aggregate(
+            UniformAggregator(seed=5), drift_store, rate=0.05,
+            pool=pool, parallelism=2,
+        )
+        via_api = UniformAggregator(seed=5).aggregate(
+            drift_store, rate=0.05, pool=pool, parallelism=2
+        )
+        assert via_api.value == direct.value
+        assert via_api.sample_size == direct.sample_size
+
+    def test_degenerate_rate_raises_same_error_as_serial(self, drift_store, pool):
+        # A rate so small every block's share rounds to zero: the serial
+        # scan dies in BlockStore.uniform_sample with EmptyDataError, and
+        # the parallel kernel must surface the same exception branch.
+        from repro.errors import EmptyDataError
+
+        with pytest.raises(EmptyDataError):
+            UniformAggregator(seed=5).aggregate(drift_store, rate=1e-7)
+        with pytest.raises(EmptyDataError):
+            UniformAggregator(seed=5).aggregate(
+                drift_store, rate=1e-7, pool=pool, parallelism=2
+            )
+
+
+class TestExactParallel:
+    def test_matches_serial_exact(self, drift_store, pool):
+        mean, rows = parallel_exact_mean(
+            drift_store, pool=pool, parallelism=4
+        )
+        assert rows == drift_store.total_rows
+        assert mean == pytest.approx(drift_store.exact_mean(), rel=1e-12)
+
+
+class TestEngineIntegration:
+    def _engine(self, parallelism):
+        engine = AQPEngine(seed=21, parallelism=parallelism)
+        values = np.random.default_rng(1).normal(100.0, 20.0, size=16_000)
+        engine.register_array("readings", values, block_count=8)
+        return engine
+
+    @pytest.mark.parametrize(
+        "statement",
+        [
+            "SELECT AVG(value) FROM readings PRECISION 0.5",
+            "SELECT SUM(value) FROM readings PRECISION 0.5",
+            "SELECT AVG(value) FROM readings PRECISION 1.0 METHOD US",
+            "SELECT AVG(value) FROM readings PRECISION 1.0 METHOD STS",
+            "SELECT AVG(value) FROM readings METHOD EXACT",
+        ],
+    )
+    def test_engine_answers_identical_across_parallelism(self, statement):
+        reset_shared_scan_pool()
+        try:
+            answers = {
+                self._engine(parallelism).execute(statement).value
+                for parallelism in PARALLELISM_LEVELS
+            }
+            assert len(answers) == 1
+        finally:
+            reset_shared_scan_pool()
+
+    def test_parallel_matches_legacy_serial_isla_distribution(self):
+        # parallelism=None keeps the legacy serial path; the partition
+        # backend must stay within the same statistical guarantee.
+        serial = self._engine(None).execute(
+            "SELECT AVG(value) FROM readings PRECISION 0.5"
+        )
+        parallel = self._engine(2).execute(
+            "SELECT AVG(value) FROM readings PRECISION 0.5"
+        )
+        assert abs(serial.value - parallel.value) <= 2 * 0.5
+        assert parallel.details["parallelism"] == 2
+        assert "parallelism" not in serial.details
+
+    def test_config_rejects_non_positive_parallelism(self):
+        with pytest.raises(ConfigurationError):
+            ISLAConfig(parallelism=0)
+
+
+class TestBenchHarness:
+    def test_smoke_benchmark_is_deterministic(self):
+        report = run_benchmark(rows=6_000, blocks=4, seed=9, repeats=1)
+        assert report.deterministic
+        assert report.passed() or report.speedup_expected

@@ -398,6 +398,72 @@ class TestQueryService:
         with pytest.raises(EstimationError):
             outcome.unwrap()
 
+    def test_retry_never_outlives_deadline(self):
+        # A transient failure storm with aggressive backoff must not keep
+        # retrying past the query's deadline: the service sheds instead of
+        # answering late.
+        engine = make_engine(rows=5_000)
+
+        def slow_transient_failure(plan, seed=None):
+            time.sleep(0.02)
+            raise EstimationError("transient wobble")
+
+        engine.execute_plan = slow_transient_failure  # type: ignore[method-assign]
+        service = QueryService(
+            engine,
+            ServeConfig(
+                workers=1,
+                max_retries=50,
+                retry_backoff_seconds=0.05,  # 50ms, 100ms, 200ms, ... would overrun
+                seed=1,
+            ),
+        )
+        deadline_ms = 120.0
+        try:
+            start = time.monotonic()
+            outcome = service.submit(
+                STMT.format(p=0.5, c=0.95), deadline_ms=deadline_ms
+            ).outcome(timeout=10.0)
+            elapsed = time.monotonic() - start
+            stats = service.stats()
+        finally:
+            service.close()
+        assert outcome.status == "rejected"
+        assert outcome.rejection is not None
+        assert outcome.rejection.reason == "deadline"
+        assert outcome.attempts >= 1
+        # Resolved near the deadline, not after the full retry schedule
+        # (50 retries x 20ms failures + exponential backoff >> 1s).
+        assert elapsed < 1.0
+        assert stats["shed_deadline"] >= 1
+
+    def test_retry_within_deadline_still_succeeds(self):
+        # The deadline guard must not over-shed: with room to spare, the
+        # retry path behaves exactly as before.
+        engine = make_engine(rows=5_000)
+        attempts = []
+        original = engine.execute_plan
+
+        def flaky_execute(plan, seed=None):
+            attempts.append(seed)
+            if len(attempts) < 3:
+                raise EstimationError("transient wobble")
+            return original(plan, seed=seed)
+
+        engine.execute_plan = flaky_execute  # type: ignore[method-assign]
+        service = QueryService(
+            engine,
+            ServeConfig(workers=1, max_retries=5, retry_backoff_seconds=0.001, seed=1),
+        )
+        try:
+            outcome = service.submit(
+                STMT.format(p=0.5, c=0.95), deadline_ms=5_000.0
+            ).outcome(timeout=10.0)
+        finally:
+            service.close()
+        assert outcome.ok
+        assert outcome.attempts == 3
+
     def test_plan_error_is_failed_outcome(self):
         engine = make_engine()
         with engine.serve(workers=1) as service:
