@@ -1,0 +1,184 @@
+"""Benchmark and acceptance check for the durable block store.
+
+Measures and verifies, on one synthetic table:
+
+* **cold-open** — opening the on-disk store memory-mapped versus fully
+  materialised, and versus rebuilding the table in memory;
+* **mmap parity** — a seeded query over the mmap-backed store must be
+  bit-identical to the same query over the in-memory store it was saved
+  from;
+* **recovery** — appends logged to the WAL (plus a deliberately torn tail
+  record, as a crash mid-append would leave) must replay on open to the
+  exact state — answers and catalog version — of a process that never
+  crashed.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_persist.py
+    PYTHONPATH=src python benchmarks/bench_persist.py --smoke
+
+``--smoke`` shrinks the table so CI can assert the acceptance properties
+in seconds; the two equality checks (mmap parity, recovery parity) are
+enforced at every size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.query.engine import AQPEngine  # noqa: E402
+from repro.storage.persist import DurableBlockStore  # noqa: E402
+
+STATEMENT = "SELECT AVG(value) FROM bench_t PRECISION 0.5 CONFIDENCE 0.95"
+
+
+def run_benchmark(rows: int, blocks: int, seed: int, appends: int) -> dict:
+    values = np.random.default_rng(seed).normal(100.0, 20.0, rows)
+    workdir = Path(tempfile.mkdtemp(prefix="repro-persist-bench-"))
+    store_dir = workdir / "bench_t"
+    try:
+        # ------------------------------------------------ in-memory baseline
+        start = time.perf_counter()
+        memory_engine = AQPEngine(seed=seed)
+        memory_engine.register_array("bench_t", values, block_count=blocks)
+        build_seconds = time.perf_counter() - start
+        memory_result = memory_engine.execute(STATEMENT)
+
+        # ------------------------------------------------------ save snapshot
+        start = time.perf_counter()
+        memory_engine.save("bench_t", store_dir)
+        save_seconds = time.perf_counter() - start
+        memory_engine.close()
+
+        # ------------------------------------------- cold open, materialised
+        start = time.perf_counter()
+        DurableBlockStore.open(store_dir, mmap=False).close()
+        open_eager_seconds = time.perf_counter() - start
+
+        # --------------------------------------------------- cold open, mmap
+        start = time.perf_counter()
+        mmap_engine = AQPEngine(seed=seed)
+        mmap_engine.open(store_dir, mmap=True)
+        open_mmap_seconds = time.perf_counter() - start
+        mmap_result = mmap_engine.execute(STATEMENT)
+        mmap_parity = mmap_result.value == memory_result.value
+
+        # --------------------------------------------------------- recovery
+        # log appends through the WAL, then fake a crash mid-append by
+        # leaving a torn record at the tail; no checkpoint happens
+        rng = np.random.default_rng(seed + 1)
+        logged = [rng.normal(100.0, 20.0, 500) for _ in range(appends)]
+        for batch in logged:
+            mmap_engine.append_array("bench_t", batch)
+        crashed_version = mmap_engine.catalog.version("bench_t")
+        mmap_engine.close()
+        with open(store_dir / "wal.log", "ab") as handle:
+            handle.write(b"RWL1\xff\xff\xff\xff partial record, torn by crash")
+
+        start = time.perf_counter()
+        recovered_engine = AQPEngine(seed=seed)
+        recovered_engine.open(store_dir, mmap=True)
+        recovery_seconds = time.perf_counter() - start
+        durable = recovered_engine._durable["bench_t"]
+        recovered_result = recovered_engine.execute(STATEMENT)
+        recovered_engine.close()
+
+        control_engine = AQPEngine(seed=seed)
+        control_engine.register_array("bench_t", values, block_count=blocks)
+        for batch in logged:
+            control_engine.append_array("bench_t", batch)
+        control_result = control_engine.execute(STATEMENT)
+
+        return {
+            "rows": rows,
+            "blocks": blocks,
+            "appends": appends,
+            "build_seconds": build_seconds,
+            "save_seconds": save_seconds,
+            "open_eager_seconds": open_eager_seconds,
+            "open_mmap_seconds": open_mmap_seconds,
+            "recovery_seconds": recovery_seconds,
+            "mmap_parity": mmap_parity,
+            "replayed": durable.recovered_appends,
+            "torn_discarded": durable.recovered_torn_bytes > 0,
+            "recovery_parity": recovered_result.value == control_result.value,
+            "version_parity": (
+                recovered_engine.catalog.version("bench_t")
+                == control_engine.catalog.version("bench_t")
+                == crashed_version
+            ),
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def passed(report: dict) -> bool:
+    return bool(
+        report["mmap_parity"]
+        and report["recovery_parity"]
+        and report["version_parity"]
+        and report["replayed"] == report["appends"]
+        and report["torn_discarded"]
+    )
+
+
+def format_report(report: dict) -> str:
+    check = {True: "ok", False: "FAIL"}
+    return "\n".join(
+        [
+            "durable block store benchmark",
+            f"  table:            {report['rows']} rows in {report['blocks']} blocks",
+            f"  build in memory:  {report['build_seconds'] * 1000:.1f}ms",
+            f"  snapshot save:    {report['save_seconds'] * 1000:.1f}ms",
+            f"  cold open eager:  {report['open_eager_seconds'] * 1000:.1f}ms",
+            f"  cold open mmap:   {report['open_mmap_seconds'] * 1000:.1f}ms",
+            f"  crash recovery:   {report['recovery_seconds'] * 1000:.1f}ms "
+            f"({report['replayed']}/{report['appends']} appends replayed, "
+            f"torn tail discarded: {check[report['torn_discarded']]})",
+            f"  mmap scan parity vs in-memory:   {check[report['mmap_parity']]}",
+            f"  recovered answer vs never-crashed: {check[report['recovery_parity']]} "
+            f"(version match: {check[report['version_parity']]})",
+        ]
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run with pass/fail assertions (CI)")
+    parser.add_argument("--data-size", type=int, default=None,
+                        help="rows in the bench table (default 2000000, smoke 120000)")
+    parser.add_argument("--blocks", type=int, default=16,
+                        help="blocks the table is partitioned into (default 16)")
+    parser.add_argument("--appends", type=int, default=8,
+                        help="WAL appends logged before the simulated crash")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    rows = args.data_size if args.data_size is not None else (
+        120_000 if args.smoke else 2_000_000
+    )
+    report = run_benchmark(
+        rows=rows, blocks=args.blocks, seed=args.seed, appends=args.appends
+    )
+    print(format_report(report))
+
+    if not passed(report):
+        print("SMOKE FAILED" if args.smoke else "CHECKS FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

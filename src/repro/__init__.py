@@ -20,7 +20,7 @@ from repro.query.engine import AQPEngine
 from repro.serve import QueryService, ServeConfig
 from repro.errors import ReproError
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ISLAAggregator",

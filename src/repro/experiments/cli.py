@@ -89,6 +89,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=4,
         help="times each unique statement repeats in the workload (default 4)",
     )
+    storage = parser.add_argument_group(
+        "durable storage", "options for the 'save'/'load' entry points and "
+        "'serve --data-dir' (crash-safe on-disk block stores)"
+    )
+    storage.add_argument(
+        "--data-dir", type=str, default=None, metavar="DIR",
+        help="directory of durable block stores: 'save' snapshots synthetic "
+             "tables into it, 'load' opens and summarises it, 'serve' runs "
+             "the benchmark against it (mmap scans)",
+    )
+    storage.add_argument(
+        "--blocks", type=int, default=16, metavar="B",
+        help="blocks per table written by the 'save' entry point (default 16)",
+    )
     return parser
 
 
@@ -103,8 +117,70 @@ def _run_serve(args) -> str:
         workers=args.workers,
         seed=args.seed,
         parallelism=args.parallelism,
+        data_dir=args.data_dir,
     )
     return format_report(report)
+
+
+def _require_data_dir(args, entry: str) -> str:
+    if not args.data_dir:
+        raise SystemExit(f"the '{entry}' entry point requires --data-dir DIR")
+    return args.data_dir
+
+
+def _run_save(args) -> str:
+    """The ``save`` entry point: snapshot synthetic tables to durable storage."""
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.query.engine import AQPEngine
+
+    data_dir = Path(_require_data_dir(args, "save"))
+    data_size = args.data_size if args.data_size is not None else 200_000
+    rng = np.random.default_rng(args.seed)
+    lines = [f"durable save → {data_dir}"]
+    with AQPEngine(seed=args.seed) as engine:
+        for index in range(args.tables):
+            name = f"serve_t{index}"
+            values = rng.normal(100.0 + 10.0 * index, 20.0, data_size)
+            engine.register_array(name, values, block_count=args.blocks)
+            engine.save(name, data_dir / name)
+            lines.append(
+                f"  {name}: {data_size} rows in {args.blocks} blocks "
+                f"(version {engine.catalog.version(name)})"
+            )
+    return "\n".join(lines)
+
+
+def _run_load(args) -> str:
+    """The ``load`` entry point: open a data directory and summarise it."""
+    from repro.query.engine import AQPEngine
+    from repro.serve.bench import discover_store_directories
+
+    data_dir = _require_data_dir(args, "load")
+    lines = [f"durable load ← {data_dir}"]
+    with AQPEngine(seed=args.seed) as engine:
+        for directory in discover_store_directories(data_dir):
+            name = engine.open(directory)
+            durable = engine._durable[name]
+            store = durable.store
+            recovery = (
+                f", recovered {durable.recovered_appends} logged append(s)"
+                if durable.recovered_appends
+                else ""
+            )
+            torn = (
+                f", discarded {durable.recovered_torn_bytes} torn WAL byte(s)"
+                if durable.recovered_torn_bytes
+                else ""
+            )
+            lines.append(
+                f"  {name}: {store.block_count} blocks, {store.total_rows} rows, "
+                f"columns {list(store.column_names)}, "
+                f"version {engine.catalog.version(name)} (mmap){recovery}{torn}"
+            )
+    return "\n".join(lines)
 
 
 def _run_parallel(args) -> str:
@@ -154,9 +230,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         for identifier, description in list_experiments().items():
             print(f"  {identifier:16s} {description}")
         print(f"  {'serve':16s} query-serving subsystem throughput benchmark "
-              "(worker pool + precision-aware cache)")
+              "(worker pool + precision-aware cache; --data-dir serves "
+              "from durable stores)")
         print(f"  {'parallel':16s} partition-parallel scan benchmark "
               "(serial vs sharded, determinism check)")
+        print(f"  {'save':16s} snapshot synthetic tables into --data-dir "
+              "(atomic, crash-safe durable stores)")
+        print(f"  {'load':16s} open the durable stores under --data-dir and "
+              "summarise them (replays the WAL)")
         return 0
 
     if args.metrics_out or args.telemetry:
@@ -177,6 +258,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if identifier.lower() == "parallel":
             with obs.stopwatch("experiment.parallel", seed=args.seed) as watch:
                 text = _run_parallel(args)
+            per_experiment[identifier] = watch.elapsed_seconds
+            print(text + "\n")
+            continue
+        if identifier.lower() in ("save", "load"):
+            runner = _run_save if identifier.lower() == "save" else _run_load
+            with obs.stopwatch(f"experiment.{identifier}", seed=args.seed) as watch:
+                text = runner(args)
             per_experiment[identifier] = watch.elapsed_seconds
             print(text + "\n")
             continue

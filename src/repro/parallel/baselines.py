@@ -37,7 +37,7 @@ from repro.parallel.seeding import (
 )
 from repro.sampling.base import BaselineAggregator, SampleEstimate
 from repro.stats.estimators import hansen_hurwitz_mean
-from repro.storage.blockstore import BlockStore
+from repro.storage.blockstore import BlockStore, resolve_block_share
 
 __all__ = ["parallel_baseline_aggregate", "parallel_exact_mean"]
 
@@ -138,9 +138,16 @@ def parallel_exact_mean(
 # per-method kernels
 # --------------------------------------------------------------------------
 
-def _sample_share(rate: float, block_size: int) -> int:
-    """Per-block sample size at the global rate (the serial convention)."""
-    return int(round(rate * block_size))
+def _sample_share(rate: float, block_size: int, rng: np.random.Generator) -> int:
+    """Per-block sample size at the global rate (the serial convention).
+
+    Delegates to :func:`~repro.storage.blockstore.resolve_block_share`, so
+    sub-rounding blocks get the same probabilistic single-row draw as the
+    serial scan instead of being silently excluded.  The draw consumes from
+    the *partition's own* stream, which keeps seeded results bit-identical
+    at every parallelism.
+    """
+    return resolve_block_share(rate, block_size, rng)
 
 
 def _merged_moments(partials: Sequence[RegionMoments]) -> RegionMoments:
@@ -155,7 +162,7 @@ def _us_kernel(aggregator, store, column, rate, pre_rng, seeds, run) -> SampleEs
 
     def partial(task) -> RegionMoments:
         block, (rng,) = task
-        share = _sample_share(rate, block.size)
+        share = _sample_share(rate, block.size, rng)
         if share <= 0 or block.size == 0:
             return RegionMoments()
         return RegionMoments.from_values(block.sample_column(column, share, rng))
@@ -183,7 +190,7 @@ def _mv_kernel(aggregator, store, column, rate, pre_rng, seeds, run) -> SampleEs
 
     def partial(task) -> RegionMoments:
         block, (rng,) = task
-        share = _sample_share(rate, block.size)
+        share = _sample_share(rate, block.size, rng)
         if share <= 0 or block.size == 0:
             return RegionMoments()
         return RegionMoments.from_values(block.sample_column(column, share, rng))
@@ -214,7 +221,7 @@ def _mvb_kernel(aggregator, store, column, rate, pre_rng, seeds, run) -> SampleE
 
     def partial(task) -> Dict[int, RegionMoments]:
         block, (rng,) = task
-        share = _sample_share(rate, block.size)
+        share = _sample_share(rate, block.size, rng)
         if share <= 0 or block.size == 0:
             return {}
         sample = block.sample_column(column, share, rng)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import contextvars
 import os
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
@@ -33,13 +34,23 @@ ENV_PARALLELISM = "REPRO_PARALLELISM"
 
 
 def default_parallelism() -> int:
-    """Default worker count: ``REPRO_PARALLELISM`` or the CPU count."""
+    """Default worker count: ``REPRO_PARALLELISM`` or the CPU count.
+
+    A malformed override is not silently ignored — a warning names the bad
+    value before falling back to the CPU count, so a typo in a deployment
+    environment cannot quietly change the machine's scan concurrency.
+    """
     override = os.environ.get(ENV_PARALLELISM)
     if override:
         try:
             return max(1, int(override))
         except ValueError:
-            pass
+            warnings.warn(
+                f"ignoring malformed {ENV_PARALLELISM}={override!r} "
+                f"(not an integer); falling back to the CPU count",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return max(1, os.cpu_count() or 1)
 
 

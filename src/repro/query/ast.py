@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.errors import QuerySyntaxError
 
@@ -24,7 +24,28 @@ SUPPORTED_METHODS = (
     "EXACT",
 )
 
-__all__ = ["AggregateQuery", "SUPPORTED_AGGREGATES", "SUPPORTED_METHODS"]
+__all__ = [
+    "AggregateQuery",
+    "CacheSignature",
+    "SUPPORTED_AGGREGATES",
+    "SUPPORTED_METHODS",
+]
+
+
+class CacheSignature(NamedTuple):
+    """Canonical cacheable identity of a query (see ``cache_signature``).
+
+    A named tuple rather than a bare one so consumers (the serving layer's
+    eager invalidation, most importantly) address fields by name — a
+    layout change here cannot silently re-point ``signature[2]`` at a
+    different field.
+    """
+
+    aggregate: str
+    column: str
+    table: str
+    method: str
+    time_budget_ms: Optional[float]
 
 
 @dataclass(frozen=True)
@@ -66,7 +87,7 @@ class AggregateQuery:
         object.__setattr__(self, "method", self.method.upper())
         object.__setattr__(self, "aggregate", self.aggregate.lower())
 
-    def cache_signature(self) -> tuple:
+    def cache_signature(self) -> CacheSignature:
         """Canonical identity of the query *excluding* the error budget.
 
         Two statements with the same signature compute the same quantity;
@@ -75,12 +96,12 @@ class AggregateQuery:
         achieved bound instead of keying on.  Table names are already
         case-insensitive in the catalog, so the signature folds case.
         """
-        return (
-            self.aggregate,
-            self.column,
-            self.table.lower(),
-            self.method,
-            self.time_budget_ms,
+        return CacheSignature(
+            aggregate=self.aggregate,
+            column=self.column,
+            table=self.table.lower(),
+            method=self.method,
+            time_budget_ms=self.time_budget_ms,
         )
 
     def describe(self) -> str:

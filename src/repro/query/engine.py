@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import replace
+from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
@@ -15,6 +16,7 @@ from repro.query.parser import parse_query
 from repro.query.planner import QueryPlan, plan_query
 from repro.storage.blockstore import BlockStore
 from repro.storage.catalog import Catalog
+from repro.storage.persist import DurableBlockStore, save_store
 from repro.storage.table import Table
 
 __all__ = ["AQPEngine"]
@@ -52,6 +54,9 @@ class AQPEngine:
             self.config = self.config.with_updates(parallelism=parallelism)
         self.seed = seed
         self._executor = QueryExecutor(seed=seed)
+        # durable backings by (lower-cased) table name; appends to these
+        # tables go through the write-ahead log before touching memory
+        self._durable: dict[str, DurableBlockStore] = {}
         # Precedence: explicit instance > config toggle > ambient default.
         if telemetry is not None:
             self.telemetry = telemetry
@@ -85,13 +90,83 @@ class AQPEngine:
     def append_array(self, name: str, values: Sequence[float]) -> int:
         """Append rows to a registered table as a new block (online ingest).
 
-        Bumps the table's catalog version so precision-aware result caches
-        treat every previously cached answer for the table as stale.
-        Returns the new version.
+        Tables opened from (or saved to) durable storage append through
+        the write-ahead log first, so a crash mid-append recovers to the
+        last consistent state on the next :meth:`open`.  Bumps the table's
+        catalog version so precision-aware result caches treat every
+        previously cached answer for the table as stale.  Returns the new
+        version.
         """
-        store = self.catalog.resolve(name)
-        store.append_block(np.asarray(values, dtype=float))
+        durable = self._durable.get(name.lower())
+        if durable is not None:
+            durable.append_block(np.asarray(values, dtype=float))
+        else:
+            store = self.catalog.resolve(name)
+            store.append_block(np.asarray(values, dtype=float))
         return self.catalog.touch(name)
+
+    # ------------------------------------------------------- durable storage
+    def open(self, directory, name: Optional[str] = None, mmap: bool = True) -> str:
+        """Open a durable on-disk store and register it as a queryable table.
+
+        Blocks are memory-mapped by default (``np.memmap``), so opening a
+        multi-GB store is near-instant and scans stream from the page
+        cache.  Any appends the write-ahead log preserved across a crash
+        are replayed, each one ``touch``-ing the catalog so the recovered
+        table version matches what a never-crashed process would carry.
+        Returns the registered table name.
+        """
+        durable = DurableBlockStore.open(directory, mmap=mmap)
+        key = (name or durable.store.name).lower()
+        # register at the *snapshot* version, then touch once per recovered
+        # append — subscribers observe recovery exactly as live appends
+        snapshot_version = durable.table_version - durable.recovered_appends
+        self.catalog.register(durable.store, name=key, version=snapshot_version)
+        for _ in range(durable.recovered_appends):
+            self.catalog.touch(key)
+        durable.table_version = self.catalog.version(key)
+        previous = self._durable.pop(key, None)
+        if previous is not None:
+            previous.close()
+        self._durable[key] = durable
+        return key
+
+    def save(self, name: str, directory) -> str:
+        """Snapshot a registered table to ``directory`` (atomic, durable).
+
+        The table stays registered and becomes durable-backed: subsequent
+        :meth:`append_array` calls are logged crash-safely to the same
+        directory.  Returns the table name.
+        """
+        key = name.lower()
+        store = self.catalog.resolve(key)
+        durable = self._durable.get(key)
+        if durable is not None and durable.store is store:
+            durable.checkpoint()
+            return key
+        version = self.catalog.version(key)
+        save_store(store, directory, table_version=version)
+        if durable is not None:
+            durable.close()
+        # the durable handle keeps serving the registered in-memory store;
+        # it carries the WAL that makes future appends crash-safe
+        self._durable[key] = DurableBlockStore(
+            directory=Path(directory), store=store, table_version=version, mmap=False
+        )
+        return key
+
+    def close(self) -> None:
+        """Release durable-storage handles (WAL file descriptors)."""
+        for durable in self._durable.values():
+            durable.close()
+        self._durable.clear()
+
+    def __enter__(self) -> "AQPEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     @property
     def tables(self) -> tuple[str, ...]:

@@ -19,31 +19,55 @@ table: the absolute error must be within the requested ``PRECISION``
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.errors import StorageError
 from repro.query.engine import AQPEngine
 from repro.serve.service import QueryService, ServeConfig
 
-__all__ = ["build_workload", "run_throughput_benchmark", "format_report"]
+__all__ = [
+    "build_workload",
+    "discover_store_directories",
+    "run_throughput_benchmark",
+    "format_report",
+]
 
 
 def build_workload(
-    table_count: int,
+    tables: Union[int, Sequence[str]],
     repeats: int,
     seed: int,
     precisions: tuple = (0.5, 1.0),
 ) -> List[str]:
-    """Repeated multi-table statements, deterministically shuffled."""
+    """Repeated multi-table statements, deterministically shuffled.
+
+    ``tables`` is either a count (synthetic ``serve_t<i>`` names) or the
+    explicit table names of a loaded data directory.
+    """
+    if isinstance(tables, int):
+        tables = [f"serve_t{index}" for index in range(tables)]
     unique = [
-        f"SELECT AVG(value) FROM serve_t{index} PRECISION {precision:g} CONFIDENCE 0.95"
-        for index in range(table_count)
+        f"SELECT AVG(value) FROM {name} PRECISION {precision:g} CONFIDENCE 0.95"
+        for name in tables
         for precision in precisions
     ]
     workload = unique * repeats
     np.random.default_rng(seed).shuffle(workload)
     return workload
+
+
+def discover_store_directories(data_dir: Union[str, Path]) -> List[Path]:
+    """Durable-store directories under ``data_dir`` (or itself if it is one)."""
+    root = Path(data_dir)
+    if (root / "MANIFEST.json").exists():
+        return [root]
+    found = sorted(path.parent for path in root.glob("*/MANIFEST.json"))
+    if not found:
+        raise StorageError(f"no durable stores (MANIFEST.json) under {root}")
+    return found
 
 
 def _build_engine(
@@ -52,8 +76,13 @@ def _build_engine(
     seed: int,
     block_count: int,
     parallelism: Optional[int] = None,
+    data_dir: Optional[Union[str, Path]] = None,
 ) -> AQPEngine:
     engine = AQPEngine(seed=seed, parallelism=parallelism)
+    if data_dir is not None:
+        for directory in discover_store_directories(data_dir):
+            engine.open(directory)
+        return engine
     rng = np.random.default_rng(seed)
     for index in range(table_count):
         values = rng.normal(100.0 + 10.0 * index, 20.0, data_size)
@@ -70,27 +99,36 @@ def run_throughput_benchmark(
     block_count: int = 16,
     include_uncached_pool: bool = True,
     parallelism: Optional[int] = None,
+    data_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, Any]:
     """Run the three configurations over one workload; returns a report dict.
 
     ``parallelism`` routes every scan through the partition backend; serve
     workers submit their shards into the one shared scan pool, so worker
     threads multiply throughput without multiplying scan threads.
-    """
-    workload = build_workload(table_count, repeats, seed)
-    truths = {}
 
+    ``data_dir`` serves the workload from durable on-disk stores
+    (memory-mapped) instead of synthesising tables, so the bench measures
+    the cold-open/mmap read path end to end.
+    """
     # ------------------------------------------------------- serial baseline
-    engine = _build_engine(table_count, data_size, seed, block_count, parallelism)
-    for index in range(table_count):
-        name = f"serve_t{index}"
+    engine = _build_engine(table_count, data_size, seed, block_count, parallelism,
+                           data_dir)
+    tables = list(engine.tables)
+    workload = build_workload(tables, repeats, seed)
+    truths = {}
+    for name in tables:
         truths[name] = engine.catalog.resolve(name).exact_mean()
+    if data_dir is not None:
+        data_size = engine.catalog.resolve(tables[0]).total_rows
     start = time.perf_counter()
     serial_results = [engine.execute(statement) for statement in workload]
     serial_seconds = time.perf_counter() - start
+    engine.close()
 
     # ------------------------------------------------- worker pool + cache
-    engine = _build_engine(table_count, data_size, seed, block_count, parallelism)
+    engine = _build_engine(table_count, data_size, seed, block_count, parallelism,
+                           data_dir)
     service = QueryService(
         engine,
         ServeConfig(workers=workers, max_queue=max(len(workload), 1), seed=seed),
@@ -100,11 +138,13 @@ def run_throughput_benchmark(
         outcomes = service.execute_many(workload)
         pool_seconds = time.perf_counter() - start
         stats = service.stats()
+    engine.close()
 
     # --------------------------------------------------- pool, cache off
     uncached_seconds: Optional[float] = None
     if include_uncached_pool:
-        engine = _build_engine(table_count, data_size, seed, block_count, parallelism)
+        engine = _build_engine(table_count, data_size, seed, block_count, parallelism,
+                               data_dir)
         with QueryService(
             engine,
             ServeConfig(
@@ -117,6 +157,7 @@ def run_throughput_benchmark(
             start = time.perf_counter()
             uncached_outcomes = uncached.execute_many(workload)
             uncached_seconds = time.perf_counter() - start
+        engine.close()
         assert all(outcome.ok for outcome in uncached_outcomes)
 
     # ------------------------------------------------------- verification
@@ -165,7 +206,8 @@ def run_throughput_benchmark(
     return {
         "queries": queries,
         "data_size": data_size,
-        "tables": table_count,
+        "tables": len(tables),
+        "data_dir": str(data_dir) if data_dir is not None else None,
         "workers": workers,
         "serial_seconds": serial_seconds,
         "pool_cached_seconds": pool_seconds,
@@ -192,6 +234,12 @@ def format_report(report: Dict[str, Any]) -> str:
         "serve throughput benchmark",
         f"  workload:        {report['queries']} queries over {report['tables']} tables "
         f"({report['data_size']} rows each)",
+    ]
+    if report.get("data_dir"):
+        lines.append(
+            f"  data dir:        {report['data_dir']} (durable stores, mmap scans)"
+        )
+    lines += [
         f"  serial loop:     {report['serial_seconds']:.3f}s "
         f"({report['serial_qps']:.1f} q/s)",
         f"  pool + cache:    {report['pool_cached_seconds']:.3f}s "

@@ -23,6 +23,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.query.ast import CacheSignature
 from repro.query.executor import ExecutionResult
 from repro.query.planner import QueryPlan
 
@@ -33,7 +34,7 @@ __all__ = ["CacheKey", "CacheEntry", "CacheStats", "ResultCache", "achieved_boun
 class CacheKey:
     """Normalized identity of a cacheable query against one table version."""
 
-    signature: Tuple
+    signature: CacheSignature
     table_version: int
 
     @classmethod
@@ -42,8 +43,12 @@ class CacheKey:
 
     @property
     def table(self) -> str:
-        """The (lower-cased) table name inside the signature."""
-        return self.signature[2]
+        """The (lower-cased) table name inside the signature.
+
+        Addressed by *name*, not position, so a signature-layout change
+        cannot silently break eager invalidation.
+        """
+        return self.signature.table
 
 
 @dataclass

@@ -11,11 +11,14 @@ files.  This package provides the same abstraction as an in-process library:
 * Partitioners (even / hash / sorted / explicit) used to build block stores.
 * Text-file block I/O mirroring the paper's ``.txt`` block layout.
 * A :class:`~repro.storage.catalog.Catalog` mapping table names to stores.
+* Durable binary storage (:mod:`~repro.storage.persist`): atomic ``.npy``
+  snapshots, an append-ahead log for crash-safe appends, and
+  memory-mapped zero-copy block scans.
 """
 
 from repro.storage.block import Block
 from repro.storage.table import Table
-from repro.storage.blockstore import BlockStore
+from repro.storage.blockstore import BlockStore, resolve_block_share
 from repro.storage.partitioner import (
     even_partition,
     hash_partition,
@@ -24,11 +27,19 @@ from repro.storage.partitioner import (
 )
 from repro.storage.textio import write_blocks_to_directory, read_blocks_from_directory
 from repro.storage.catalog import Catalog
+from repro.storage.persist import (
+    DurableBlockStore,
+    load_manifest,
+    open_store,
+    save_store,
+)
+from repro.storage.wal import WalRecord, WriteAheadLog, replay_wal
 
 __all__ = [
     "Block",
     "Table",
     "BlockStore",
+    "resolve_block_share",
     "even_partition",
     "hash_partition",
     "sorted_partition",
@@ -36,4 +47,11 @@ __all__ = [
     "write_blocks_to_directory",
     "read_blocks_from_directory",
     "Catalog",
+    "DurableBlockStore",
+    "save_store",
+    "open_store",
+    "load_manifest",
+    "WalRecord",
+    "WriteAheadLog",
+    "replay_wal",
 ]

@@ -11,7 +11,26 @@ from repro.errors import EmptyDataError, StorageError, UnknownColumnError
 from repro.storage.block import Block
 from repro.storage.table import Table
 
-__all__ = ["BlockStore"]
+__all__ = ["BlockStore", "resolve_block_share"]
+
+
+def resolve_block_share(rate: float, block_size: int, rng: np.random.Generator) -> int:
+    """Per-block sample size at the global ``rate``, without rounding bias.
+
+    ``round(rate * size)`` silently excludes blocks whose expected draw is
+    below one half — on skewed block-size layouts the small blocks then
+    never contribute, biasing estimates toward the large blocks'
+    distribution.  Sub-rounding blocks instead get a probabilistic single
+    row (drawn with probability ``rate * size``), which keeps the expected
+    contribution of every block at ``rate * |B_j|`` rows.
+    """
+    if block_size <= 0:
+        return 0
+    expected = rate * block_size
+    share = int(round(expected))
+    if share == 0 and rng.random() < expected:
+        share = 1
+    return share
 
 
 @dataclass
@@ -116,7 +135,7 @@ class BlockStore:
             raise StorageError(f"sampling rate must lie in (0, 1], got {rate}")
         pieces = []
         for block in self._blocks:
-            share = int(round(rate * block.size))
+            share = resolve_block_share(rate, block.size, rng)
             if share > 0:
                 pieces.append(block.sample_column(column, share, rng))
         if not pieces:
@@ -219,7 +238,10 @@ class BlockStore:
         column = column or self.default_column
         next_id = (max(block.block_id for block in self._blocks) + 1) if self._blocks else 0
         block = Block.from_values(next_id, array, column=column)
-        if self._blocks and not block.has_column(self.default_column):
+        # Checked on the empty path too: appending an explicit column to a
+        # fresh store must not create a store whose default column no block
+        # carries.
+        if not block.has_column(self.default_column):
             raise StorageError(
                 f"appended block must carry the default column "
                 f"{self.default_column!r} of store {self.name!r}"

@@ -38,21 +38,34 @@ class Catalog:
         self._versions: Dict[str, int] = {}
         self._listeners: List[CatalogListener] = []
 
-    def register(self, store: BlockStore, name: Optional[str] = None) -> int:
+    def register(
+        self,
+        store: BlockStore,
+        name: Optional[str] = None,
+        version: Optional[int] = None,
+    ) -> int:
         """Register a store under ``name`` (defaults to the store's own name).
 
         Returns the new version of the table.  Re-registering an existing
         name replaces the store and bumps the version, invalidating any
         cached answers keyed on the old version.
+
+        ``version`` restores a **persisted** version (durable stores carry
+        their catalog version across restarts, so version-keyed caches stay
+        meaningful between processes).  The table's version becomes at
+        least ``version`` — never less than the normal bump, which keeps
+        versions monotonic even against a stale manifest.
         """
         key = (name or store.name).lower()
         if not key:
             raise StorageError("cannot register a store under an empty name")
         with self._lock:
             self._stores[key] = store
-            version = self._bump(key)
-        self._notify("register", key, version)
-        return version
+            new_version = self._bump(key)
+            if version is not None and version > new_version:
+                self._versions[key] = new_version = int(version)
+        self._notify("register", key, new_version)
+        return new_version
 
     def unregister(self, name: str) -> None:
         """Remove a table from the catalog (no-op if missing)."""

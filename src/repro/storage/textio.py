@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Iterator, List, Union
+from typing import Dict, Iterator, List, Union
 
 import numpy as np
 
@@ -33,18 +33,37 @@ def write_blocks_to_directory(
     directory: Union[str, os.PathLike],
     column: str | None = None,
 ) -> List[Path]:
-    """Write one ``block_<id>.txt`` file per block (one value per line)."""
-    column = store.validate_column(column)
+    """Write every block of ``store`` as text files (one value per line).
+
+    With ``column=None`` **all** columns are persisted: a single-column
+    store keeps the paper's legacy ``block_<id>.txt`` layout, a
+    multi-column store writes one ``block_<id>.<column>.txt`` file per
+    column.  Passing an explicit ``column`` writes just that column in the
+    legacy layout.  Values are written with ``repr`` so the round-trip
+    through :func:`read_blocks_from_directory` is bit-identical.
+    """
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
+    if column is not None:
+        columns = (store.validate_column(column),)
+    else:
+        store.validate_column(None)  # non-empty store with its default column
+        columns = store.column_names
+    for name in columns:
+        if os.sep in name or name.startswith(_BLOCK_PREFIX):
+            raise StorageError(
+                f"column {name!r} cannot be persisted as a text block file"
+            )
     written: List[Path] = []
     for block in store.blocks:
-        path = target / f"{_BLOCK_PREFIX}{block.block_id:04d}{_BLOCK_SUFFIX}"
-        values = block.column(column)
-        with path.open("w", encoding="ascii") as handle:
-            for value in values:
-                handle.write(f"{float(value)!r}\n")
-        written.append(path)
+        for name in columns:
+            tag = "" if len(columns) == 1 else f".{name}"
+            path = target / f"{_BLOCK_PREFIX}{block.block_id:04d}{tag}{_BLOCK_SUFFIX}"
+            values = block.column(name)
+            with path.open("w", encoding="ascii") as handle:
+                for value in values:
+                    handle.write(f"{float(value)!r}\n")
+            written.append(path)
     return written
 
 
@@ -66,20 +85,45 @@ def read_blocks_from_directory(
     name: str = "blocks",
     column: str = "value",
 ) -> BlockStore:
-    """Load every ``block_*.txt`` file in ``directory`` into a block store."""
+    """Load every ``block_*.txt`` file in ``directory`` into a block store.
+
+    Untagged ``block_<id>.txt`` files load as the single column ``column``
+    (the paper's legacy layout); tagged ``block_<id>.<column>.txt`` files —
+    the multi-column layout of :func:`write_blocks_to_directory` — are
+    grouped by block id with every column restored.  The store's default
+    column is ``column`` when present, otherwise the first column name.
+    """
     source = Path(directory)
     if not source.is_dir():
         raise StorageError(f"{source} is not a directory")
     paths = sorted(source.glob(f"{_BLOCK_PREFIX}*{_BLOCK_SUFFIX}"))
     if not paths:
         raise StorageError(f"no block files found under {source}")
-    blocks = []
+    columns_by_block: Dict[int, Dict[str, np.ndarray]] = {}
     for path in paths:
         stem = path.stem[len(_BLOCK_PREFIX):]
+        id_part, _, tag = stem.partition(".")
         try:
-            block_id = int(stem)
+            block_id = int(id_part)
         except ValueError as exc:
             raise StorageError(f"block file {path.name} has a non-numeric id") from exc
-        values = np.fromiter(iter_block_file(path), dtype=float)
-        blocks.append(Block.from_values(block_id, values, column=column))
-    return BlockStore.from_blocks(name, blocks, default_column=column)
+        column_name = tag or column
+        per_block = columns_by_block.setdefault(block_id, {})
+        if column_name in per_block:
+            raise StorageError(
+                f"duplicate column {column_name!r} for block {block_id} under {source}"
+            )
+        per_block[column_name] = np.fromiter(iter_block_file(path), dtype=float)
+    column_sets = {tuple(sorted(cols)) for cols in columns_by_block.values()}
+    if len(column_sets) != 1:
+        raise StorageError(
+            f"inconsistent column sets across block files under {source}: "
+            f"{sorted(column_sets)}"
+        )
+    blocks = [
+        Block(block_id=block_id, columns=cols)
+        for block_id, cols in columns_by_block.items()
+    ]
+    (columns_present,) = column_sets
+    default = column if column in columns_present else columns_present[0]
+    return BlockStore.from_blocks(name, blocks, default_column=default)

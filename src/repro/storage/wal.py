@@ -1,0 +1,156 @@
+"""Append-ahead log making block appends crash-safe.
+
+Durable stores write every :meth:`~repro.storage.blockstore.BlockStore.append_block`
+to this log — flushed and ``fsync``'d — *before* applying it in memory, so a
+process killed at any instant loses at most the append it was writing.  On
+reopen the log is replayed record by record; the first torn record (short
+read, bad magic or CRC mismatch) ends the replay, the torn tail is
+discarded, and the store recovers to the last consistent state: snapshot
+plus every fully-logged append.
+
+Record layout (little-endian)::
+
+    MAGIC    4 bytes   b"RWL1"
+    hlen     4 bytes   uint32 — length of the JSON header
+    header   hlen      {"block_id", "column", "rows", "version"}
+    payload  rows * 8  float64 values
+    crc      4 bytes   uint32 — zlib.crc32 over header + payload
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import obs
+from repro.errors import StorageError
+
+__all__ = ["WalRecord", "WriteAheadLog", "replay_wal"]
+
+MAGIC = b"RWL1"
+_LEN = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged append: the block payload plus its post-append version."""
+
+    block_id: int
+    column: str
+    values: np.ndarray
+    version: int
+
+    def encode(self) -> bytes:
+        payload = np.ascontiguousarray(self.values, dtype="<f8").tobytes()
+        header = json.dumps(
+            {
+                "block_id": int(self.block_id),
+                "column": self.column,
+                "rows": int(self.values.size),
+                "version": int(self.version),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        crc = zlib.crc32(header + payload) & 0xFFFFFFFF
+        return b"".join(
+            [MAGIC, _LEN.pack(len(header)), header, payload, _LEN.pack(crc)]
+        )
+
+
+def _decode_one(buffer: bytes, offset: int) -> Optional[Tuple[WalRecord, int]]:
+    """Decode the record at ``offset``; None when the tail is torn/invalid."""
+    end = len(buffer)
+    if offset + 8 > end:
+        return None
+    if buffer[offset : offset + 4] != MAGIC:
+        return None
+    (hlen,) = _LEN.unpack_from(buffer, offset + 4)
+    body_start = offset + 8
+    if body_start + hlen > end:
+        return None
+    try:
+        header = json.loads(buffer[body_start : body_start + hlen])
+        rows = int(header["rows"])
+        block_id = int(header["block_id"])
+        column = str(header["column"])
+        version = int(header["version"])
+    except (ValueError, KeyError, TypeError):
+        return None
+    payload_start = body_start + hlen
+    payload_end = payload_start + rows * 8
+    if payload_end + 4 > end:
+        return None
+    (crc,) = _LEN.unpack_from(buffer, payload_end)
+    if zlib.crc32(buffer[body_start:payload_end]) & 0xFFFFFFFF != crc:
+        return None
+    values = np.frombuffer(
+        buffer, dtype="<f8", count=rows, offset=payload_start
+    ).astype(float)
+    record = WalRecord(
+        block_id=block_id, column=column, values=values, version=version
+    )
+    return record, payload_end + 4
+
+
+def replay_wal(path: Union[str, os.PathLike]) -> Tuple[List[WalRecord], int]:
+    """Replay a log file; returns ``(records, torn_bytes_discarded)``.
+
+    Reads the longest prefix of intact records.  Anything after the first
+    torn or corrupt record is reported as discarded — the caller truncates
+    the file to the consistent prefix before appending again.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0
+    buffer = path.read_bytes()
+    records: List[WalRecord] = []
+    offset = 0
+    while offset < len(buffer):
+        decoded = _decode_one(buffer, offset)
+        if decoded is None:
+            break
+        record, offset = decoded
+        records.append(record)
+    return records, len(buffer) - offset
+
+
+class WriteAheadLog:
+    """An append-only record log with fsync-per-append durability."""
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = Path(path)
+        self._handle = open(self.path, "ab")
+
+    def append(self, record: WalRecord) -> None:
+        """Durably log one append (write + flush + fsync) before it applies."""
+        if self._handle.closed:
+            raise StorageError(f"write-ahead log {self.path} is closed")
+        with obs.span("persist.wal.append", rows=int(record.values.size)):
+            self._handle.write(record.encode())
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        obs.counter("persist.wal.append")
+
+    def truncate(self, size: int = 0) -> None:
+        """Cut the log to ``size`` bytes (0 after a checkpoint discards it)."""
+        self._handle.flush()
+        self._handle.truncate(size)
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -22,6 +22,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.query.ast import CacheSignature
 from repro.query.engine import AQPEngine
 from repro.query.executor import ExecutionResult
 from repro.serve import CacheKey, QueryService, ResultCache, ServeConfig
@@ -33,9 +34,12 @@ JOIN_TIMEOUT = 20.0  # seconds; generous — only a deadlock gets near it
 TABLES = ("alpha", "beta")
 
 
-def _signature(table: str) -> tuple:
-    # Shape mirrors AggregateQuery.cache_signature(): table name at index 2.
-    return ("avg", "value", table, 0.5, 0.95)
+def _signature(table: str) -> CacheSignature:
+    # The named signature AggregateQuery.cache_signature() produces.
+    return CacheSignature(
+        aggregate="avg", column="value", table=table, method="ISLA",
+        time_budget_ms=None,
+    )
 
 
 def _result(table: str, version: int) -> ExecutionResult:

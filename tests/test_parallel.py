@@ -101,6 +101,35 @@ class TestSeedContract:
             spawn_scan_seeds(0, -1)
 
 
+class TestDefaultParallelism:
+    def test_env_override_respected(self, monkeypatch):
+        from repro.parallel.pool import ENV_PARALLELISM, default_parallelism
+
+        monkeypatch.setenv(ENV_PARALLELISM, "3")
+        assert default_parallelism() == 3
+
+    def test_env_override_clamped_to_one(self, monkeypatch):
+        from repro.parallel.pool import ENV_PARALLELISM, default_parallelism
+
+        monkeypatch.setenv(ENV_PARALLELISM, "-2")
+        assert default_parallelism() == 1
+
+    def test_malformed_env_warns_and_falls_back(self, monkeypatch):
+        from repro.parallel.pool import ENV_PARALLELISM, default_parallelism
+
+        monkeypatch.setenv(ENV_PARALLELISM, "four")
+        with pytest.warns(RuntimeWarning, match="four"):
+            resolved = default_parallelism()
+        assert resolved >= 1  # CPU-count fallback, not the typo
+
+    def test_unset_env_is_silent(self, monkeypatch, recwarn):
+        from repro.parallel.pool import ENV_PARALLELISM, default_parallelism
+
+        monkeypatch.delenv(ENV_PARALLELISM, raising=False)
+        assert default_parallelism() >= 1
+        assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
+
+
 class TestScanPool:
     def test_results_keep_partition_order(self):
         with ScanPool(max_workers=4) as pool:

@@ -78,6 +78,30 @@ class TestParser:
         with pytest.raises(QuerySyntaxError):
             AggregateQuery(aggregate="avg", column="x", table="t", confidence=2.0)
 
+    def test_cache_signature_named_fields(self):
+        query = parse_query("SELECT SUM(x) FROM Orders PRECISION 0.3")
+        signature = query.cache_signature()
+        # the named fields are the API; positional indexing stays for
+        # backward compatibility with tuple-keyed caches
+        assert signature.table == "orders"
+        assert signature.aggregate == "sum"
+        assert signature.column == "x"
+        assert signature.method == "ISLA"
+        assert signature.time_budget_ms is None
+        assert signature == (
+            signature.aggregate,
+            signature.column,
+            signature.table,
+            signature.method,
+            signature.time_budget_ms,
+        )
+        assert hash(signature) == hash(tuple(signature))
+
+    def test_cache_signature_ignores_error_budget(self):
+        tight = parse_query("SELECT AVG(x) FROM t PRECISION 0.1 CONFIDENCE 0.99")
+        loose = parse_query("SELECT AVG(x) FROM t PRECISION 2 CONFIDENCE 0.9")
+        assert tight.cache_signature() == loose.cache_signature()
+
 
 class TestEngine:
     @pytest.fixture

@@ -14,6 +14,7 @@ from repro.errors import (
     ServiceClosed,
     UnknownTableError,
 )
+from repro.query.ast import CacheSignature
 from repro.query.engine import AQPEngine
 from repro.serve import (
     AdmissionController,
@@ -194,8 +195,13 @@ class TestResultCache:
             # distinct signatures via distinct methods would be cleaner, but
             # precision is not part of the key — use different versions
             keys.append(
-                CacheKey(signature=("avg", "value", "t0", "ISLA", None),
-                         table_version=len(keys) + 1)
+                CacheKey(
+                    signature=CacheSignature(
+                        aggregate="avg", column="value", table="t0",
+                        method="ISLA", time_budget_ms=None,
+                    ),
+                    table_version=len(keys) + 1,
+                )
             )
         result = engine.execute(STMT.format(p=0.5, c=0.95))
         cache.put(keys[0], result, 0.5, 0.95)

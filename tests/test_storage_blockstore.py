@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import EmptyDataError, StorageError, UnknownColumnError
-from repro.storage.blockstore import BlockStore
+from repro.storage.blockstore import BlockStore, resolve_block_share
 from repro.storage.table import Table
 
 
@@ -84,3 +84,71 @@ class TestSampling:
         values = np.arange(30.0)
         store = BlockStore.from_array("t", values, block_count=3)
         assert np.array_equal(np.sort(store.full_column()), values)
+
+    def test_resolve_block_share_rounds_normally_above_half(self, rng):
+        assert resolve_block_share(0.05, 100, rng) == 5
+        assert resolve_block_share(0.01, 250, rng) == 2  # banker's rounding of 2.5
+        assert resolve_block_share(0.5, 0, rng) == 0
+
+    def test_resolve_block_share_sub_rounding_draw_is_probabilistic(self):
+        # expected share 0.2: rounding alone would always return 0 and the
+        # block could never contribute — the probabilistic draw restores an
+        # expected contribution of rate * size
+        rate, size, trials = 0.02, 10, 20_000
+        rng = np.random.default_rng(123)
+        draws = sum(resolve_block_share(rate, size, rng) for _ in range(trials))
+        assert 0 < draws < trials
+        assert draws / trials == pytest.approx(rate * size, rel=0.1)
+
+    def test_uniform_sample_unbiased_on_skewed_block_sizes(self):
+        # one huge block plus many tiny ones: with plain round() the tiny
+        # blocks (expected share 0.1 each) would never be sampled and the
+        # estimate would collapse onto the big block's distribution
+        rate = 0.01
+        big = np.zeros(10_000)
+        tiny = [np.full(10, 100.0) for _ in range(200)]
+        store = BlockStore.from_block_arrays("t", [big] + tiny)
+        tiny_rows = sum(len(t) for t in tiny)
+        expected_mean = 100.0 * tiny_rows / store.total_rows
+
+        rng = np.random.default_rng(7)
+        totals = []
+        tiny_hits = 0
+        for _ in range(400):
+            sample = store.uniform_sample(None, rate, rng)
+            totals.append(sample)
+            tiny_hits += int(np.any(sample == 100.0))
+        pooled = np.concatenate(totals)
+        # the tiny blocks do contribute...
+        assert tiny_hits > 0
+        # ...the overall sample size stays at rate * M in expectation...
+        assert pooled.size / 400 == pytest.approx(rate * store.total_rows, rel=0.1)
+        # ...and the pooled sample mean is unbiased, not collapsed to 0.0
+        assert pooled.mean() == pytest.approx(expected_mean, rel=0.15)
+
+
+class TestAppendBlock:
+    def test_append_assigns_next_id(self, small_store):
+        before = small_store.block_count
+        block = small_store.append_block(np.arange(5.0))
+        assert block.block_id == before
+        assert small_store.block_count == before + 1
+
+    def test_append_empty_rejected(self, small_store):
+        with pytest.raises(EmptyDataError):
+            small_store.append_block(np.empty(0))
+
+    def test_append_wrong_column_rejected(self, small_store):
+        with pytest.raises(StorageError):
+            small_store.append_block(np.arange(5.0), column="other")
+
+    def test_first_append_to_empty_store_checks_default_column(self):
+        # regression: the default-column check used to be skipped when the
+        # store had no blocks yet, so the first append could create a store
+        # whose own default column no block carries
+        store = BlockStore(name="fresh", default_column="value")
+        with pytest.raises(StorageError):
+            store.append_block(np.arange(3.0), column="other")
+        assert store.block_count == 0
+        block = store.append_block(np.arange(3.0))
+        assert block.has_column("value")

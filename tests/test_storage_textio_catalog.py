@@ -6,6 +6,7 @@ import pytest
 from repro.errors import StorageError, UnknownTableError
 from repro.storage.blockstore import BlockStore
 from repro.storage.catalog import Catalog
+from repro.storage.table import Table
 from repro.storage.textio import (
     iter_block_file,
     read_blocks_from_directory,
@@ -40,6 +41,47 @@ class TestTextIO:
             read_blocks_from_directory(tmp_path / "does-not-exist")
 
     def test_empty_directory(self, tmp_path):
+        with pytest.raises(StorageError):
+            read_blocks_from_directory(tmp_path)
+
+    def test_multi_column_round_trip_bit_identical(self, tmp_path, rng):
+        table = Table.from_mapping(
+            "t",
+            {
+                "price": rng.normal(10.0, 2.0, size=523),
+                "qty": rng.integers(0, 50, size=523).astype(float),
+            },
+        )
+        store = BlockStore.from_table(table, block_count=3, default_column="qty")
+        paths = write_blocks_to_directory(store, tmp_path)
+        # one tagged file per (block, column)
+        assert len(paths) == 6
+        assert sorted(p.name for p in paths)[0] == "block_0000.price.txt"
+
+        loaded = read_blocks_from_directory(tmp_path, name="loaded", column="qty")
+        assert loaded.default_column == "qty"
+        assert set(loaded.column_names) == {"price", "qty"}
+        for original, restored in zip(store.blocks, loaded.blocks):
+            for column in ("price", "qty"):
+                assert np.array_equal(
+                    restored.column(column), original.column(column)
+                ), f"column {column!r} of block {original.block_id} not bit-identical"
+
+    def test_single_column_round_trip_keeps_legacy_filenames(self, tmp_path, rng):
+        store = BlockStore.from_array("t", rng.normal(0, 1, 100), block_count=2)
+        paths = write_blocks_to_directory(store, tmp_path)
+        assert sorted(p.name for p in paths) == ["block_0000.txt", "block_0001.txt"]
+        loaded = read_blocks_from_directory(tmp_path)
+        for original, restored in zip(store.blocks, loaded.blocks):
+            assert np.array_equal(restored.column("value"), original.column("value"))
+
+    def test_inconsistent_column_sets_rejected(self, tmp_path, rng):
+        table = Table.from_mapping(
+            "t", {"a": rng.normal(0, 1, 60), "b": rng.normal(0, 1, 60)}
+        )
+        store = BlockStore.from_table(table, block_count=2)
+        write_blocks_to_directory(store, tmp_path)
+        (tmp_path / "block_0001.b.txt").unlink()
         with pytest.raises(StorageError):
             read_blocks_from_directory(tmp_path)
 
