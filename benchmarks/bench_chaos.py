@@ -1,0 +1,260 @@
+"""Chaos benchmark: the serving stack under injected faults.
+
+Runs a concurrent query workload through :class:`~repro.serve.QueryService`
+while a fault plan fails partitions, straggles shards and (in a separate
+phase) tears WAL frames, then asserts the robustness acceptance
+properties:
+
+* **zero hung workers** — every submitted ticket resolves and the worker
+  pool drains on close;
+* **no unhandled exceptions** — every outcome is ``ok`` (complete or
+  degraded), ``failed`` with a typed error, or ``rejected`` with a typed
+  reason (``queue_full`` / ``deadline`` / ``circuit_open``);
+* **degraded answers stay honest** — each degraded result names its lost
+  partitions, carries ``sample_fraction < 1`` and a CI at least as wide as
+  requested;
+* **no-fault parity** — with injection disabled the chaos harness is the
+  plain serving path (same code, one ``None`` check per partition).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py
+    PYTHONPATH=src python benchmarks/bench_chaos.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro import faults  # noqa: E402
+from repro.faults import FaultPlan, FaultSpec, fault_scope  # noqa: E402
+from repro.parallel import reset_shared_scan_pool  # noqa: E402
+from repro.query.engine import AQPEngine  # noqa: E402
+from repro.serve import ServeConfig  # noqa: E402
+
+TABLES = ("orders", "sensors", "trips")
+
+
+def _build_engine(data_size: int, seed: int, parallelism: int) -> AQPEngine:
+    engine = AQPEngine(seed=seed, parallelism=parallelism)
+    rng = np.random.default_rng(seed)
+    for index, table in enumerate(TABLES):
+        values = rng.normal(100.0 + 25.0 * index, 15.0, size=data_size)
+        engine.register_array(table, values, block_count=8)
+    return engine
+
+
+def _workload(queries: int) -> list:
+    statements = []
+    for index in range(queries):
+        table = TABLES[index % len(TABLES)]
+        precision = (0.5, 0.8, 1.0)[index % 3]
+        statements.append(
+            f"SELECT AVG(value) FROM {table} PRECISION {precision} CONFIDENCE 0.95"
+        )
+    return statements
+
+
+def _run_serving_phase(engine, statements, plan, workers: int):
+    config = ServeConfig(
+        workers=workers,
+        max_queue=max(64, len(statements)),
+        cache_enabled=False,  # every query must execute under chaos
+        breaker_enabled=False,  # count raw failures; the breaker test is separate
+    )
+    scope = fault_scope(plan) if plan is not None else None
+    started = time.perf_counter()
+    if scope is not None:
+        with scope:
+            with engine.serve(config=config) as service:
+                outcomes = service.execute_many(statements, timeout=120.0)
+                stats = service.stats()
+                health = service.health()
+    else:
+        with engine.serve(config=config) as service:
+            outcomes = service.execute_many(statements, timeout=120.0)
+            stats = service.stats()
+            health = service.health()
+    elapsed = time.perf_counter() - started
+    return outcomes, stats, health, elapsed
+
+
+def _classify(outcomes):
+    buckets = {"ok": 0, "degraded": 0, "failed": 0, "rejected": 0, "untyped": 0}
+    for outcome in outcomes:
+        if outcome.status == "ok":
+            if outcome.result is not None and outcome.result.degraded:
+                buckets["degraded"] += 1
+            else:
+                buckets["ok"] += 1
+        elif outcome.status == "failed" and outcome.error is not None:
+            buckets["failed"] += 1
+        elif outcome.status == "rejected" and outcome.rejection is not None:
+            buckets["rejected"] += 1
+        else:
+            buckets["untyped"] += 1
+    return buckets
+
+
+def _check_degraded_honesty(outcomes, failures):
+    for outcome in outcomes:
+        if outcome.status != "ok" or not outcome.result.degraded:
+            continue
+        result = outcome.result
+        if not result.failed_partitions:
+            failures.append(
+                f"degraded answer without failed partitions: {outcome.statement}"
+            )
+        if not 0.0 < result.sample_fraction < 1.0:
+            failures.append(
+                f"degraded sample_fraction {result.sample_fraction} out of (0, 1)"
+            )
+        requested = result.details.get("precision")
+        low = result.details.get("interval_low")
+        high = result.details.get("interval_high")
+        if requested is not None and low is not None and high is not None:
+            if (high - low) / 2.0 < requested * 0.999:
+                failures.append(
+                    f"degraded CI narrower than requested: {outcome.statement}"
+                )
+
+
+def _wal_tear_phase(tmp_root: Path, appends: int) -> dict:
+    """Tear a fraction of WAL appends, then prove recovery is consistent."""
+    from repro.errors import InjectedFault
+    from repro.storage.blockstore import BlockStore
+    from repro.storage.persist import DurableBlockStore
+
+    directory = tmp_root / "chaos-wal"
+    base = BlockStore.from_array(
+        "walchaos", np.random.default_rng(5).normal(50.0, 5.0, 4_000), block_count=4
+    )
+    durable = DurableBlockStore.create(base, directory)
+    plan = FaultPlan(
+        seed=13, specs=(FaultSpec(site="wal.torn_frame", rate=0.3),)
+    )
+    applied = torn = 0
+    with fault_scope(plan):
+        for index in range(appends):
+            try:
+                durable.append_block(np.full(100, float(index)))
+                applied += 1
+            except InjectedFault:
+                torn += 1
+                break  # a torn log tail must be recovered before appending
+    durable.close()
+    recovered = DurableBlockStore.open(directory)
+    consistent = recovered.store.total_rows == base.total_rows + applied * 100
+    recovered.close()
+    return {
+        "appends_attempted": applied + torn,
+        "appends_applied": applied,
+        "torn_frames": torn,
+        "recovery_consistent": consistent,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run with pass/fail assertions (CI)")
+    parser.add_argument("--data-size", type=int, default=None,
+                        help="rows per synthetic table (default 120000, smoke 16000)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="workload size (default 120, smoke 45)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--failure-rate", type=float, default=0.25,
+                        help="per-partition injected failure rate")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--tmp", type=str, default=None,
+                        help="scratch directory for the WAL phase")
+    args = parser.parse_args(argv)
+
+    data_size = args.data_size or (16_000 if args.smoke else 120_000)
+    queries = args.queries or (45 if args.smoke else 120)
+    failures: list = []
+
+    faults.clear()
+    reset_shared_scan_pool()
+    statements = _workload(queries)
+
+    # ------------------------------------------------- phase 1: no faults
+    engine = _build_engine(data_size, args.seed, parallelism=4)
+    baseline_outcomes, _, _, baseline_elapsed = _run_serving_phase(
+        engine, statements, plan=None, workers=args.workers
+    )
+    baseline_buckets = _classify(baseline_outcomes)
+    print(f"phase 1  no faults        {queries} queries in {baseline_elapsed:.2f}s "
+          f"-> {baseline_buckets}")
+    if baseline_buckets["ok"] != queries:
+        failures.append(f"no-fault phase not fully ok: {baseline_buckets}")
+
+    # --------------------------------------- phase 2: partition failures
+    chaos_plan = FaultPlan(
+        seed=args.seed + 1,
+        specs=(
+            FaultSpec(site="scan.partition", rate=args.failure_rate),
+            FaultSpec(site="scan.straggler", rate=0.1, delay_ms=20.0,
+                      once_per_key=True),
+        ),
+    )
+    engine = _build_engine(data_size, args.seed, parallelism=4)
+    chaos_outcomes, chaos_stats, chaos_health, chaos_elapsed = _run_serving_phase(
+        engine, statements, plan=chaos_plan, workers=args.workers
+    )
+    chaos_buckets = _classify(chaos_outcomes)
+    print(f"phase 2  chaos rate={args.failure_rate:g}  {queries} queries in "
+          f"{chaos_elapsed:.2f}s -> {chaos_buckets}")
+    if chaos_buckets["untyped"]:
+        failures.append(f"{chaos_buckets['untyped']} outcomes without typed status")
+    if chaos_buckets["degraded"] == 0:
+        failures.append("chaos phase produced no degraded answers")
+    _check_degraded_honesty(chaos_outcomes, failures)
+    if chaos_health["workers_alive"] != args.workers:
+        failures.append(
+            f"hung workers: {chaos_health['workers_alive']}/{args.workers} alive"
+        )
+    answered = chaos_buckets["ok"] + chaos_buckets["degraded"]
+    total_accounted = (
+        answered + chaos_buckets["failed"] + chaos_buckets["rejected"]
+    )
+    if total_accounted != queries:
+        failures.append(
+            f"outcome accounting mismatch: {total_accounted} != {queries}"
+        )
+    print(f"         degraded={chaos_stats['degraded']} "
+          f"rejected={chaos_stats['rejected']} retries={chaos_stats['retries']}")
+
+    # ------------------------------------------------ phase 3: WAL tears
+    import tempfile
+
+    tmp_root = Path(args.tmp) if args.tmp else Path(tempfile.mkdtemp(prefix="chaos-"))
+    wal_report = _wal_tear_phase(tmp_root, appends=20)
+    print(f"phase 3  wal tears        {wal_report}")
+    if not wal_report["recovery_consistent"]:
+        failures.append("WAL recovery inconsistent after torn frame")
+
+    # --------------------------------------------------------- verdict
+    faults.clear()
+    if args.smoke:
+        if failures:
+            print("\nSMOKE FAILURES:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("\nsmoke ok: no hung workers, all outcomes typed, "
+              "degraded answers honest, WAL recovery consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

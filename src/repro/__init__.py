@@ -8,7 +8,7 @@ The most common entry points are re-exported here::
 See README.md for a quickstart and DESIGN.md for the full system inventory.
 """
 
-from repro import obs
+from repro import faults, obs
 from repro.obs import Telemetry
 from repro.core.config import ISLAConfig
 from repro.core.isla import ISLAAggregator
@@ -20,7 +20,7 @@ from repro.query.engine import AQPEngine
 from repro.serve import QueryService, ServeConfig
 from repro.errors import ReproError
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ISLAAggregator",
@@ -35,6 +35,7 @@ __all__ = [
     "ServeConfig",
     "ReproError",
     "Telemetry",
+    "faults",
     "obs",
     "__version__",
 ]

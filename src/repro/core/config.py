@@ -81,6 +81,11 @@ class ISLAConfig:
     #: bit-identical across parallelism levels, so this is purely a
     #: throughput knob.
     parallelism: Optional[int] = None
+    #: per-shard straggler deadline (milliseconds) for partition-parallel
+    #: scans: a partition task still running past it is speculatively
+    #: re-executed with the same seed (bit-identical, so speculation can
+    #: never change an answer).  ``None`` disables the watchdog.
+    straggler_timeout_ms: Optional[float] = None
     #: random seed used when the caller does not pass a Generator
     seed: Optional[int] = None
     #: tri-state telemetry switch: True/False force spans + metrics on/off for
@@ -134,6 +139,11 @@ class ISLAConfig:
         if self.parallelism is not None and self.parallelism < 1:
             raise ConfigurationError(
                 f"parallelism must be None or at least 1, got {self.parallelism}"
+            )
+        if self.straggler_timeout_ms is not None and self.straggler_timeout_ms <= 0:
+            raise ConfigurationError(
+                f"straggler_timeout_ms must be None or positive, "
+                f"got {self.straggler_timeout_ms}"
             )
 
     # ------------------------------------------------------------- utilities

@@ -194,6 +194,9 @@ class ISLAAggregator:
             method=self.method,
             elapsed_seconds=avg_result.elapsed_seconds,
             translation_offset=avg_result.translation_offset,
+            degraded=avg_result.degraded,
+            failed_partitions=avg_result.failed_partitions,
+            sample_fraction=avg_result.sample_fraction,
         )
 
     # ------------------------------------------------------------- internals

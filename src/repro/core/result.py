@@ -55,6 +55,13 @@ class AggregateResult:
     method: str = "ISLA"
     elapsed_seconds: float = 0.0
     translation_offset: float = 0.0
+    #: True when partitions failed and the answer was re-estimated from the
+    #: survivors with a widened confidence interval (degraded mode)
+    degraded: bool = False
+    #: block ids of the partitions that failed (or were quarantined)
+    failed_partitions: Tuple[int, ...] = ()
+    #: fraction of the table's rows that actually backed this answer
+    sample_fraction: float = 1.0
 
     # ----------------------------------------------------------- evaluation
     def error_against(self, truth: float) -> float:
@@ -103,6 +110,9 @@ class AggregateResult:
             "blocks": len(self.block_results),
             "fallback_blocks": self.fallback_blocks,
             "elapsed_seconds": self.elapsed_seconds,
+            "degraded": self.degraded,
+            "failed_partitions": list(self.failed_partitions),
+            "sample_fraction": self.sample_fraction,
         }
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

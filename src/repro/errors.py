@@ -59,6 +59,27 @@ class TimeBudgetExceeded(ReproError):
     """A time-constrained execution could not finish within its budget."""
 
 
+class InjectedFault(ReproError):
+    """A fault deliberately raised by the fault-injection framework.
+
+    Carries the injection ``site`` (``"scan.partition"``, ``"wal.torn_frame"``,
+    ...) so degraded-mode handlers can distinguish injected chaos from
+    organic failures in assertions and metrics.
+    """
+
+    def __init__(self, site: str, message: str) -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class DataCorruptionError(StorageError):
+    """Stored block bytes failed their integrity check (CRC mismatch)."""
+
+
+class PartialResultError(ReproError):
+    """Every partition of a degraded scan failed — no answer can be formed."""
+
+
 class ServingError(ReproError):
     """The query-serving subsystem could not serve a request."""
 

@@ -1,0 +1,59 @@
+"""``repro.faults`` — deterministic fault injection for chaos testing.
+
+A production AQP system earns its keep exactly where the happy path ends:
+partitions fail mid-scan, workers straggle, WAL frames tear, stored bytes
+rot.  This package injects all four — deterministically, from a seeded
+:class:`FaultPlan` — so the degraded-mode machinery in ``parallel``,
+``serve`` and ``storage`` can be exercised and asserted on, bit-for-bit.
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultSpec`, the
+  declarative description (site, rate, scope, delay), loadable from the
+  ``REPRO_FAULTS`` environment variable (inline JSON or a file path);
+* :mod:`repro.faults.injector` — the runtime: :func:`active` returns the
+  process-wide :class:`FaultInjector` or ``None``; guarded sites cost one
+  None check when chaos is off.
+
+Sites wired through the stack:
+
+========================  ==========================================================
+``scan.partition``        a partition scan task raises :class:`~repro.errors.InjectedFault`
+``scan.straggler``        a partition scan task sleeps ``delay_ms`` before running
+``wal.torn_frame``        a WAL append writes a torn frame and fails (crash mid-write)
+``block.bitflip``         a stored block is treated as CRC-corrupt and quarantined
+========================  ==========================================================
+
+Quickstart::
+
+    from repro.faults import FaultPlan, FaultSpec, fault_scope
+
+    plan = FaultPlan(seed=7, specs=(
+        FaultSpec(site="scan.partition", rate=0.25),
+        FaultSpec(site="scan.straggler", rate=0.1, delay_ms=50, once_per_key=True),
+    ))
+    with fault_scope(plan):
+        result = engine.execute("SELECT AVG(value) FROM t PRECISION 0.5 CONFIDENCE 0.95")
+        assert result.degraded  # answered from surviving partitions, wider CI
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    active,
+    clear,
+    fault_scope,
+    install,
+    reset_env_cache,
+)
+from repro.faults.plan import ENV_FAULTS, SITES, FaultPlan, FaultSpec
+
+__all__ = [
+    "ENV_FAULTS",
+    "SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "active",
+    "clear",
+    "fault_scope",
+    "install",
+    "reset_env_cache",
+]

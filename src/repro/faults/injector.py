@@ -1,0 +1,217 @@
+"""The fault-injection runtime: deterministic draws, zero cost when off.
+
+One :class:`FaultInjector` executes a :class:`~repro.faults.plan.FaultPlan`.
+Guarded sites ask the module-level :func:`active` for the current injector —
+``None`` (the production default) short-circuits in one attribute read plus
+a None check, so the framework adds no measurable overhead when disabled.
+
+Whether a fault fires is a *pure function* of ``(plan seed, site, spec
+index, table, key)``: the draw hashes the triple through BLAKE2 into a
+uniform in ``[0, 1)`` and compares against the spec's rate.  No global RNG
+state, no call-order dependence — two runs under one plan inject the same
+faults no matter how threads interleave, which keeps seeded degraded
+answers bit-identical.  The only mutable state is hit accounting
+(``once_per_key`` / ``max_hits``), guarded by a lock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro import obs
+from repro.errors import InjectedFault
+from repro.faults.plan import ENV_FAULTS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultInjector",
+    "active",
+    "install",
+    "clear",
+    "fault_scope",
+    "reset_env_cache",
+]
+
+
+def _uniform_draw(seed: int, site: str, spec_index: int, table: Optional[str], key: Optional[int]) -> float:
+    """Deterministic uniform in [0, 1) for one (spec, table, key) triple."""
+    token = f"{seed}|{site}|{spec_index}|{table or ''}|{key if key is not None else ''}"
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / float(1 << 64)
+
+
+class FaultInjector:
+    """Executes one fault plan; thread-safe; deterministic per plan seed."""
+
+    def __init__(self, plan: FaultPlan, sleep=time.sleep) -> None:
+        self.plan = plan
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        # hit accounting: per-spec totals and per-(spec, table, key) counts
+        self._spec_hits: Dict[int, int] = {}
+        self._key_hits: Dict[Tuple[int, Optional[str], Optional[int]], int] = {}
+
+    # ------------------------------------------------------------- decisions
+    def draw(
+        self, site: str, table: Optional[str] = None, key: Optional[int] = None
+    ) -> Optional[FaultSpec]:
+        """The spec that fires for ``(site, table, key)``, or ``None``.
+
+        The rate decision is stateless and deterministic; the
+        ``once_per_key``/``max_hits`` bookkeeping consumes a hit only when
+        the decision was positive, so asking about a triple that never
+        fires costs nothing and changes nothing.
+        """
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site != site or not spec.matches(table, key):
+                continue
+            if spec.rate < 1.0:
+                if _uniform_draw(self.plan.seed, site, index, table, key) >= spec.rate:
+                    continue
+            elif spec.rate == 0.0:
+                continue
+            with self._lock:
+                if spec.max_hits is not None:
+                    if self._spec_hits.get(index, 0) >= spec.max_hits:
+                        continue
+                if spec.once_per_key:
+                    key_token = (index, table, key)
+                    if self._key_hits.get(key_token, 0) >= 1:
+                        continue
+                    self._key_hits[key_token] = 1
+                self._spec_hits[index] = self._spec_hits.get(index, 0) + 1
+            obs.counter(f"faults.injected.{site}")
+            return spec
+        return None
+
+    def would_fire(
+        self, site: str, table: Optional[str] = None, key: Optional[int] = None
+    ) -> bool:
+        """Pure rate decision, without consuming a hit (used by planners/tests)."""
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site != site or not spec.matches(table, key):
+                continue
+            if spec.rate >= 1.0:
+                return True
+            if spec.rate > 0.0 and _uniform_draw(
+                self.plan.seed, site, index, table, key
+            ) < spec.rate:
+                return True
+        return False
+
+    # ----------------------------------------------------------- site hooks
+    def partition_scan(self, table: Optional[str], key: Optional[int]) -> None:
+        """Guard of one partition scan task: straggle first, then maybe fail.
+
+        The straggler sleep models a hung shard (bounded by the spec's
+        ``delay_ms``); the failure raises :class:`InjectedFault`, which the
+        degraded scan path records as a failed partition.
+        """
+        straggle = self.draw("scan.straggler", table, key)
+        if straggle is not None and straggle.delay_ms > 0.0:
+            self._sleep(straggle.delay_ms / 1000.0)
+        failure = self.draw("scan.partition", table, key)
+        if failure is not None:
+            raise InjectedFault(
+                "scan.partition",
+                f"injected partition failure (table={table!r}, partition={key})",
+            )
+
+    def torn_frame(self, key: Optional[int] = None) -> bool:
+        """True when the next WAL frame should be written torn."""
+        return self.draw("wal.torn_frame", None, key) is not None
+
+    def bitflip(self, table: Optional[str], key: Optional[int]) -> bool:
+        """True when a stored block should be treated as CRC-corrupt."""
+        return self.draw("block.bitflip", table, key) is not None
+
+    # ------------------------------------------------------------ accounting
+    def stats(self) -> Dict[str, int]:
+        """Total fires per site (for reports and assertions)."""
+        with self._lock:
+            totals: Dict[str, int] = {}
+            for index, hits in self._spec_hits.items():
+                site = self.plan.specs[index].site
+                totals[site] = totals.get(site, 0) + hits
+            return totals
+
+    def reset(self) -> None:
+        """Forget hit accounting (rate decisions are stateless anyway)."""
+        with self._lock:
+            self._spec_hits.clear()
+            self._key_hits.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultInjector(seed={self.plan.seed}, specs={len(self.plan.specs)})"
+
+
+# --------------------------------------------------------------------------
+# module-level switch
+# --------------------------------------------------------------------------
+
+_lock = threading.Lock()
+_active: Optional[FaultInjector] = None
+_env_loaded = False
+
+
+def active() -> Optional[FaultInjector]:
+    """The process-wide injector, or ``None`` when chaos is off.
+
+    The first call resolves :data:`~repro.faults.plan.ENV_FAULTS` once; an
+    explicit :func:`install` / :func:`clear` always wins over the
+    environment.  Guarded sites call this on every operation — the disabled
+    path is one None check.
+    """
+    global _active, _env_loaded
+    if _env_loaded:
+        return _active
+    with _lock:
+        if not _env_loaded:
+            plan = FaultPlan.from_env()
+            if plan is not None and _active is None:
+                _active = FaultInjector(plan)
+            _env_loaded = True
+    return _active
+
+
+def install(plan: Union[FaultPlan, FaultInjector]) -> FaultInjector:
+    """Activate a plan (or a pre-built injector) process-wide."""
+    global _active, _env_loaded
+    injector = plan if isinstance(plan, FaultInjector) else FaultInjector(plan)
+    with _lock:
+        _active = injector
+        _env_loaded = True
+    return injector
+
+
+def clear() -> None:
+    """Deactivate fault injection (and stop consulting the environment)."""
+    global _active, _env_loaded
+    with _lock:
+        _active = None
+        _env_loaded = True
+
+
+def reset_env_cache() -> None:
+    """Re-arm the one-shot ``REPRO_FAULTS`` lookup (tests and benchmarks)."""
+    global _active, _env_loaded
+    with _lock:
+        _active = None
+        _env_loaded = False
+
+
+@contextmanager
+def fault_scope(plan: Union[FaultPlan, FaultInjector]) -> Iterator[FaultInjector]:
+    """Context manager: install a plan, restore the previous state on exit."""
+    global _active, _env_loaded
+    with _lock:
+        previous = (_active, _env_loaded)
+    injector = install(plan)
+    try:
+        yield injector
+    finally:
+        with _lock:
+            _active, _env_loaded = previous

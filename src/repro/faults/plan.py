@@ -1,0 +1,197 @@
+"""Declarative, seed-driven fault plans.
+
+A :class:`FaultPlan` is a pure description of the chaos to inject: a plan
+seed plus a list of :class:`FaultSpec` entries, each naming an injection
+*site*, a firing *rate* and optional scoping (tables, partition keys).
+Plans are deterministic by construction — whether a given ``(site, table,
+key)`` triple fires is a pure function of the plan seed and the triple, so
+two runs under the same plan fail the same partitions, straggle the same
+shards and tear the same WAL frames regardless of thread scheduling.  That
+is what lets the chaos suite assert bit-identical degraded answers.
+
+Plans load from three places:
+
+* programmatically — ``FaultPlan(seed=7, specs=(FaultSpec(...),))``;
+* from a dict/JSON document — :meth:`FaultPlan.from_dict` /
+  :meth:`FaultPlan.from_json`;
+* from the ``REPRO_FAULTS`` environment variable — either inline JSON or a
+  path to a JSON file (:meth:`FaultPlan.from_env`).  Unset means no plan:
+  the framework costs one attribute read per guarded site.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SITES", "ENV_FAULTS", "FaultSpec", "FaultPlan"]
+
+#: environment variable carrying an inline JSON plan or a path to one
+ENV_FAULTS = "REPRO_FAULTS"
+
+#: the injection sites wired through the stack
+SITES = (
+    "scan.partition",   # raise InjectedFault inside a partition scan task
+    "scan.straggler",   # sleep delay_ms inside a partition scan task
+    "wal.torn_frame",   # write a torn WAL frame, then fail the append
+    "block.bitflip",    # treat a stored block as CRC-corrupt at open time
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One kind of fault: where it strikes, how often, and how hard."""
+
+    #: injection site, one of :data:`SITES`
+    site: str
+    #: probability that a matching (table, key) draws this fault
+    rate: float = 1.0
+    #: restrict to these table names (lower-cased); ``None`` matches any
+    tables: Optional[Tuple[str, ...]] = None
+    #: restrict to these partition keys (block ids); ``None`` matches any
+    keys: Optional[Tuple[int, ...]] = None
+    #: straggler sleep in milliseconds (``scan.straggler`` only)
+    delay_ms: float = 0.0
+    #: fire at most once per (site, table, key) — models transient faults,
+    #: and is what makes speculative re-execution observably effective
+    once_per_key: bool = False
+    #: global cap on how many times this spec fires (``None`` = unbounded)
+    max_hits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; known sites: {', '.join(SITES)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(
+                f"fault rate must lie in [0, 1], got {self.rate}"
+            )
+        if self.delay_ms < 0.0:
+            raise ConfigurationError(
+                f"delay_ms must be non-negative, got {self.delay_ms}"
+            )
+        if self.max_hits is not None and self.max_hits < 1:
+            raise ConfigurationError(
+                f"max_hits must be positive, got {self.max_hits}"
+            )
+        if self.tables is not None:
+            object.__setattr__(
+                self, "tables", tuple(str(name).lower() for name in self.tables)
+            )
+        if self.keys is not None:
+            object.__setattr__(self, "keys", tuple(int(key) for key in self.keys))
+
+    # ------------------------------------------------------------- matching
+    def matches(self, table: Optional[str], key: Optional[int]) -> bool:
+        """True when this spec scopes over ``(table, key)``."""
+        if self.tables is not None:
+            if table is None or table.lower() not in self.tables:
+                return False
+        if self.keys is not None:
+            if key is None or int(key) not in self.keys:
+                return False
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"site": self.site, "rate": self.rate}
+        if self.tables is not None:
+            payload["tables"] = list(self.tables)
+        if self.keys is not None:
+            payload["keys"] = list(self.keys)
+        if self.delay_ms:
+            payload["delay_ms"] = self.delay_ms
+        if self.once_per_key:
+            payload["once_per_key"] = True
+        if self.max_hits is not None:
+            payload["max_hits"] = self.max_hits
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultSpec":
+        known = {"site", "rate", "tables", "keys", "delay_ms", "once_per_key", "max_hits"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown FaultSpec fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        spec = dict(payload)
+        if "tables" in spec and spec["tables"] is not None:
+            spec["tables"] = tuple(spec["tables"])
+        if "keys" in spec and spec["keys"] is not None:
+            spec["keys"] = tuple(spec["keys"])
+        return cls(**spec)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the fault specs active under it."""
+
+    seed: int = 0
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        """The distinct sites this plan can strike (in spec order)."""
+        seen = []
+        for spec in self.specs:
+            if spec.site not in seen:
+                seen.append(spec.site)
+        return tuple(seen)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "specs": [spec.to_dict() for spec in self.specs]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"a fault plan must be a JSON object, got {type(payload).__name__}"
+            )
+        specs = payload.get("specs", [])
+        if not isinstance(specs, (list, tuple)):
+            raise ConfigurationError("fault plan 'specs' must be a list")
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            specs=tuple(FaultSpec.from_dict(dict(spec)) for spec in specs),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ConfigurationError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """Parse ``REPRO_FAULTS``: inline JSON, a JSON file path, or unset.
+
+        A malformed value raises :class:`ConfigurationError` rather than
+        silently running without chaos — a chaos run that quietly became a
+        happy-path run would pass for the wrong reason.
+        """
+        raw = os.environ.get(ENV_FAULTS)
+        if raw is None or not raw.strip():
+            return None
+        raw = raw.strip()
+        if raw.startswith("{"):
+            return cls.from_json(raw)
+        path = Path(raw)
+        if not path.exists():
+            raise ConfigurationError(
+                f"{ENV_FAULTS}={raw!r} is neither inline JSON nor an existing file"
+            )
+        return cls.from_json(path.read_text(encoding="utf-8"))

@@ -26,8 +26,10 @@ Enable it per engine (``AQPEngine(parallelism=4)``), per config
 
 from repro.parallel.baselines import parallel_baseline_aggregate, parallel_exact_mean
 from repro.parallel.bench import BenchReport, build_bench_store, format_report, run_benchmark
-from repro.parallel.isla import PartitionParallelAggregator
+from repro.parallel.isla import PartitionParallelAggregator, degraded_radius
 from repro.parallel.pool import (
+    PartialScanResult,
+    PartitionFailure,
     ScanPool,
     default_parallelism,
     reset_shared_scan_pool,
@@ -42,12 +44,15 @@ from repro.parallel.seeding import (
 
 __all__ = [
     "BenchReport",
+    "PartialScanResult",
+    "PartitionFailure",
     "PartitionParallelAggregator",
     "ScanPool",
     "SeedLike",
     "as_seed_sequence",
     "build_bench_store",
     "default_parallelism",
+    "degraded_radius",
     "format_report",
     "parallel_baseline_aggregate",
     "parallel_exact_mean",

@@ -28,7 +28,7 @@ from repro import obs
 from repro.core.accumulators import RegionMoments
 from repro.core.boundaries import DataBoundaries
 from repro.core.summarization import combine_partial_means
-from repro.errors import EmptyDataError, SamplingError
+from repro.errors import EmptyDataError, PartialResultError, SamplingError
 from repro.parallel.pool import ScanPool, shared_scan_pool
 from repro.parallel.seeding import (
     SeedLike,
@@ -43,6 +43,10 @@ __all__ = ["parallel_baseline_aggregate", "parallel_exact_mean"]
 
 #: a partition runner: maps a per-block function over blocks, in block order
 Runner = Callable[[Callable, Sequence], List]
+
+
+class _ScanFailures(Exception):
+    """Internal control flow: a kernel phase lost partitions; retry without them."""
 
 
 def parallel_baseline_aggregate(
@@ -63,6 +67,15 @@ def parallel_baseline_aggregate(
     :meth:`~repro.sampling.base.BaselineAggregator.aggregate`; the pilot
     sample behind a ``precision`` target draws from the scan's pre-seed
     stream so the resolved rate is itself reproducible.
+
+    Partition failures degrade rather than fail the scan: the blocks that
+    failed are excluded and the kernel re-runs over the survivors (the
+    pre-phase generator is rewound, and surviving partitions keep their
+    original seed children, so the surviving draws are bit-identical to a
+    run that never saw the failure).  A degraded estimate re-weights over
+    the surviving blocks — exactly the Summarization rule, applied to the
+    blocks that still exist — and tags ``details`` with ``degraded``, the
+    failed partition list and the surviving row fraction.
     """
     kernel = _KERNELS.get(aggregator.method)
     if kernel is None:
@@ -88,20 +101,89 @@ def parallel_baseline_aggregate(
             store, column, rate=rate, precision=precision,
             confidence=confidence, rng=pre_rng,
         )
+        # Rewind point: every (re-)run of the kernel consumes the pre-phase
+        # stream from here, so excluding a failed block cannot shift the
+        # pilot draws of the surviving ones.
+        kernel_state = pre_rng.bit_generator.state
 
-        def run(function: Callable, items: Sequence) -> List:
-            return pool.map_partitions(function, items, parallelism)
+        excluded: Dict[int, int] = {}  # failed block id -> rows lost
+        view, view_seeds = store, partition_seeds
+        estimate: Optional[SampleEstimate] = None
+        for _attempt in range(store.block_count):
+            failed: List[int] = []
 
-        estimate = kernel(
-            aggregator, store, column, resolved_rate, pre_rng, partition_seeds, run
-        )
+            def run(
+                function: Callable,
+                items: Sequence,
+                _view: BlockStore = view,
+                _failed: List[int] = failed,
+            ) -> List:
+                scan = pool.scan_partial(
+                    function,
+                    items,
+                    parallelism,
+                    table=store.name,
+                    keys=[block.block_id for block in _view.blocks],
+                )
+                if scan.failures:
+                    _failed.extend(
+                        _view.blocks[failure.index].block_id
+                        for failure in scan.failures
+                    )
+                    raise _ScanFailures()
+                return scan.results
+
+            pre_rng.bit_generator.state = kernel_state
+            try:
+                estimate = kernel(
+                    aggregator, view, column, resolved_rate, pre_rng, view_seeds, run
+                )
+                break
+            except _ScanFailures:
+                for block_id in failed:
+                    rows = next(
+                        block.size for block in store.blocks if block.block_id == block_id
+                    )
+                    excluded[block_id] = rows
+                obs.counter("degraded.partitions_lost", len(failed))
+                survivors = [
+                    (block, child)
+                    for block, child in zip(store.blocks, partition_seeds)
+                    if block.block_id not in excluded
+                ]
+                if not survivors:
+                    raise PartialResultError(
+                        f"every partition of {store.name!r} failed under "
+                        f"{aggregator.method}"
+                    )
+                view = BlockStore.from_blocks(
+                    store.name,
+                    [block for block, _ in survivors],
+                    default_column=store.default_column,
+                )
+                view_seeds = [child for _, child in survivors]
+        if estimate is None:
+            raise PartialResultError(
+                f"partition scan over {store.name!r} kept losing blocks; "
+                f"no attempt completed ({len(excluded)} excluded)"
+            )
         sp.set_tag("rows", estimate.sample_size)
         sp.set_tag("rate", resolved_rate)
-    obs.counter("parallel.partitions", store.block_count)
+        if excluded:
+            sp.set_tag("failed_partitions", len(excluded))
+    obs.counter("parallel.partitions", view.block_count)
     obs.counter("sample.rows", estimate.sample_size)
     details = dict(estimate.details)
     details["parallelism"] = parallelism
     details["partitions"] = store.block_count
+    if excluded:
+        obs.counter("degraded.answers")
+        surviving_rows = store.total_rows - sum(excluded.values())
+        details["degraded"] = True
+        details["failed_partitions"] = sorted(excluded)
+        details["sample_fraction"] = (
+            surviving_rows / store.total_rows if store.total_rows else 1.0
+        )
     return SampleEstimate(
         value=estimate.value,
         sample_size=estimate.sample_size,

@@ -15,6 +15,7 @@ estimator, and a given seed yields bit-identical answers at any parallelism
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional
 
 import numpy as np
@@ -27,13 +28,34 @@ from repro.core.isla import ISLAAggregator, _shifted_block
 from repro.core.pre_estimation import PreEstimate, PreEstimator
 from repro.core.result import AggregateResult, BlockResult
 from repro.core.summarization import combine_block_results
-from repro.errors import EmptyDataError
-from repro.parallel.pool import ScanPool, shared_scan_pool
+from repro.errors import EmptyDataError, PartialResultError
+from repro.parallel.pool import PartialScanResult, ScanPool, shared_scan_pool
 from repro.parallel.seeding import SeedLike, spawn_scan_seeds
 from repro.stats.confidence import ConfidenceInterval
 from repro.storage.blockstore import BlockStore
 
-__all__ = ["PartitionParallelAggregator"]
+__all__ = ["PartitionParallelAggregator", "degraded_radius"]
+
+
+def degraded_radius(
+    precision: float, planned_samples: int, surviving_samples: int
+) -> float:
+    """Widened CI half-width after losing partitions.
+
+    Definition 1 ties the half-width to the sample size through
+    ``e = u * sigma / sqrt(m)``: the requested ``precision`` was budgeted for
+    ``planned_samples`` draws, so an answer backed by only
+    ``surviving_samples`` of them carries half-width
+    ``precision * sqrt(planned / surviving)`` at the *same* confidence.
+    This is what makes a degraded answer statistically honest: the
+    confidence level is preserved and the interval widens to pay for the
+    missing data.
+    """
+    if surviving_samples <= 0:
+        raise PartialResultError("no surviving samples to widen a CI over")
+    if planned_samples <= surviving_samples:
+        return precision
+    return precision * math.sqrt(planned_samples / surviving_samples)
 
 
 class PartitionParallelAggregator(ISLAAggregator):
@@ -55,6 +77,11 @@ class PartitionParallelAggregator(ISLAAggregator):
         self._pool = pool
         resolved = parallelism if parallelism is not None else self.config.parallelism
         self.parallelism = max(1, int(resolved)) if resolved is not None else 1
+        timeout_ms = self.config.straggler_timeout_ms
+        #: per-shard straggler deadline in seconds (None disables the watchdog)
+        self.straggler_timeout = (
+            timeout_ms / 1000.0 if timeout_ms is not None else None
+        )
 
     @property
     def pool(self) -> ScanPool:
@@ -131,20 +158,47 @@ class PartitionParallelAggregator(ISLAAggregator):
                     sp.set_tag("iterations", result.iterations)
                 return result
 
-            block_results: List[BlockResult] = self.pool.map_partitions(
+            scan: PartialScanResult = self.pool.scan_partial(
                 run_partition,
                 list(zip(store.blocks, partition_seeds)),
                 self.parallelism,
+                table=store.name,
+                keys=[block.block_id for block in store.blocks],
+                straggler_timeout=self.straggler_timeout,
             )
+            block_results: List[BlockResult] = scan.completed()
+            if not block_results:
+                raise PartialResultError(
+                    f"every partition of {store.name!r} failed "
+                    f"({len(scan.failures)} failures, first: {scan.failures[0].error!r})"
+                )
             obs.counter("parallel.partitions", len(block_results))
+            if scan.failures:
+                obs.counter("degraded.partitions_lost", len(scan.failures))
+                watch.set_tag("failed_partitions", len(scan.failures))
             combined = combine_block_results(block_results) - offset
             watch.set_tag("sampling_rate", sampling_rate)
             watch.set_tag("blocks", len(block_results))
         elapsed = watch.elapsed_seconds
 
+        degraded = not scan.ok
+        surviving_samples = sum(block.sample_size for block in block_results)
+        surviving_rows = sum(block.block_size for block in block_results)
+        radius = self.config.precision
+        if degraded:
+            # The rate was budgeted for the full table; re-derive the planned
+            # draw count and widen the interval for the samples we lost.
+            planned_samples = max(
+                surviving_samples, int(round(sampling_rate * store.total_rows))
+            )
+            radius = degraded_radius(
+                self.config.precision, planned_samples, surviving_samples
+            )
+            obs.counter("degraded.answers")
+
         interval = ConfidenceInterval(
             center=combined,
-            radius=self.config.precision,
+            radius=radius,
             confidence=self.config.confidence,
         )
         return AggregateResult(
@@ -156,7 +210,7 @@ class PartitionParallelAggregator(ISLAAggregator):
             confidence=self.config.confidence,
             interval=interval,
             sampling_rate=sampling_rate,
-            sample_size=sum(block.sample_size for block in block_results),
+            sample_size=surviving_samples,
             sketch0=estimate.sketch0,
             sigma_estimate=estimate.sigma,
             data_size=store.total_rows,
@@ -164,4 +218,9 @@ class PartitionParallelAggregator(ISLAAggregator):
             method=self.method,
             elapsed_seconds=elapsed,
             translation_offset=offset,
+            degraded=degraded,
+            failed_partitions=tuple(sorted(scan.failed_keys)),
+            sample_fraction=(
+                surviving_rows / store.total_rows if store.total_rows else 1.0
+            ),
         )

@@ -106,7 +106,13 @@ class AQPEngine:
         return self.catalog.touch(name)
 
     # ------------------------------------------------------- durable storage
-    def open(self, directory, name: Optional[str] = None, mmap: bool = True) -> str:
+    def open(
+        self,
+        directory,
+        name: Optional[str] = None,
+        mmap: bool = True,
+        verify: bool = False,
+    ) -> str:
         """Open a durable on-disk store and register it as a queryable table.
 
         Blocks are memory-mapped by default (``np.memmap``), so opening a
@@ -114,9 +120,12 @@ class AQPEngine:
         cache.  Any appends the write-ahead log preserved across a crash
         are replayed, each one ``touch``-ing the catalog so the recovered
         table version matches what a never-crashed process would carry.
+        With ``verify=True`` block files are CRC-checked against the
+        manifest and corrupt blocks quarantined, so queries over the table
+        answer degraded instead of reading corrupted bytes.
         Returns the registered table name.
         """
-        durable = DurableBlockStore.open(directory, mmap=mmap)
+        durable = DurableBlockStore.open(directory, mmap=mmap, verify=verify)
         key = (name or durable.store.name).lower()
         # register at the *snapshot* version, then touch once per recovered
         # append — subscribers observe recovery exactly as live appends
@@ -203,17 +212,19 @@ class AQPEngine:
         """
         return self._executor.execute(plan, seed=seed)
 
-    def serve(self, **kwargs):
+    def serve(self, config=None, **kwargs):
         """Create a :class:`~repro.serve.QueryService` bound to this engine.
 
-        Keyword arguments are forwarded to
-        :class:`~repro.serve.ServeConfig` (``workers``, ``max_queue``,
-        ``cache_capacity``, ...).  Remember to ``close()`` the service (or
-        use it as a context manager).
+        Pass a pre-built :class:`~repro.serve.ServeConfig` as ``config``, or
+        forward keyword arguments to construct one (``workers``,
+        ``max_queue``, ``cache_capacity``, ...).  Remember to ``close()``
+        the service (or use it as a context manager).
         """
         from repro.serve import QueryService, ServeConfig
 
-        return QueryService(self, ServeConfig(**kwargs))
+        if config is not None and kwargs:
+            raise TypeError("pass either a config or ServeConfig kwargs, not both")
+        return QueryService(self, config or ServeConfig(**kwargs))
 
     def explain(self, statement: str) -> str:
         """Return the plan description for a statement."""

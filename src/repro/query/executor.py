@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +40,13 @@ class ExecutionResult:
     raw: Any = None
     #: per-query span tree + derived counters (None when telemetry is off)
     telemetry: Optional[obs.QueryTelemetry] = None
+    #: True when the answer was re-estimated from surviving partitions
+    #: (failed or quarantined blocks) with a correspondingly wider CI
+    degraded: bool = False
+    #: block ids of the partitions that did not contribute to this answer
+    failed_partitions: Tuple[int, ...] = ()
+    #: fraction of the table's rows that backed this answer (1.0 = all)
+    sample_fraction: float = 1.0
 
     def error_against(self, truth: float) -> float:
         """Absolute error against a known ground truth."""
@@ -57,6 +64,36 @@ _BASELINES = {
     "BLOCK": BlockLevelAggregator,
     "EBS": ErrorBoundedStratifiedAggregator,
 }
+
+
+def _degradation(
+    store,
+    degraded: bool = False,
+    failed: Tuple[int, ...] = (),
+    fraction: float = 1.0,
+) -> Dict[str, Any]:
+    """Fold store-level quarantine into scan-level degradation tags.
+
+    Blocks quarantined at open time (CRC mismatch on the durable read path)
+    never entered the store, so every answer over such a table is degraded:
+    they join the failed-partition list and shrink the effective sample
+    fraction by their share of the original rows.
+    """
+    quarantined = tuple(getattr(store, "quarantined", ()) or ())
+    if quarantined:
+        degraded = True
+        failed = tuple(sorted(set(failed) | set(quarantined)))
+        lost_rows = int(getattr(store, "quarantined_rows", 0))
+        original_rows = store.total_rows + lost_rows
+        if original_rows > 0:
+            fraction = fraction * store.total_rows / original_rows
+    if degraded:
+        obs.counter("degraded.results")
+    return {
+        "degraded": degraded,
+        "failed_partitions": tuple(failed),
+        "sample_fraction": fraction,
+    }
 
 
 class QueryExecutor:
@@ -132,6 +169,7 @@ class QueryExecutor:
                 sample_size=plan.store.total_rows,
                 elapsed_seconds=watch.elapsed_seconds,
                 details=details,
+                **_degradation(plan.store),
             )
 
         if method == "ISLA":
@@ -161,6 +199,12 @@ class QueryExecutor:
                 elapsed_seconds=watch.elapsed_seconds,
                 details=details,
                 raw=result,
+                **_degradation(
+                    plan.store,
+                    result.degraded,
+                    result.failed_partitions,
+                    result.sample_fraction,
+                ),
             )
 
         if method in _BASELINES:
@@ -175,6 +219,7 @@ class QueryExecutor:
             value = estimate.value
             if query.aggregate == "sum":
                 value *= plan.store.total_rows
+            details = dict(estimate.details)
             return ExecutionResult(
                 value=value,
                 method=method,
@@ -183,8 +228,14 @@ class QueryExecutor:
                 table=plan.store.name,
                 sample_size=estimate.sample_size,
                 elapsed_seconds=watch.elapsed_seconds,
-                details=dict(estimate.details),
+                details=details,
                 raw=estimate,
+                **_degradation(
+                    plan.store,
+                    bool(details.get("degraded", False)),
+                    tuple(details.get("failed_partitions", ())),
+                    float(details.get("sample_fraction", 1.0)),
+                ),
             )
 
         raise QueryPlanError(f"no executor registered for method {method!r}")
@@ -222,4 +273,5 @@ class QueryExecutor:
             elapsed_seconds=watch.elapsed_seconds,
             details={**result.to_dict(), "time_budget_ms": plan.query.time_budget_ms},
             raw=result,
+            **_degradation(plan.store),
         )

@@ -24,6 +24,7 @@ Quickstart::
 """
 
 from repro.serve.admission import AdmissionController
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.cache import CacheEntry, CacheKey, CacheStats, ResultCache, achieved_bound
 from repro.serve.service import (
     QueryOutcome,
@@ -38,6 +39,7 @@ __all__ = [
     "CacheEntry",
     "CacheKey",
     "CacheStats",
+    "CircuitBreaker",
     "ResultCache",
     "achieved_bound",
     "QueryOutcome",

@@ -1,0 +1,171 @@
+"""Per-table circuit breaker for the serving layer.
+
+A table whose queries keep failing (corrupt storage, a poisoned partition,
+an estimator that cannot converge on the data) should stop consuming worker
+time on arrival: the breaker watches a rolling window of *executed* query
+outcomes per table and, once the failure rate crosses a threshold, rejects
+further queries up front with a typed ``circuit_open`` outcome — the same
+fail-fast contract as admission-queue load shedding.
+
+States follow the classic three-state machine:
+
+* **closed** — all traffic flows; outcomes feed the rolling window.
+* **open** — tripped: every request is rejected until ``cooldown_seconds``
+  pass.
+* **half_open** — after the cooldown, a handful of probe queries are let
+  through; all of them succeeding closes the circuit, any failure re-opens
+  it for another cooldown.
+
+The breaker never sees rejected queries (shed at the queue or at their
+deadline): those were not executed, so they carry no evidence about the
+table's health.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Rolling-window failure-rate breaker with half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: float = 0.5,
+        window: int = 32,
+        min_requests: int = 10,
+        cooldown_seconds: float = 2.0,
+        half_open_probes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError(
+                f"failure_threshold must lie in (0, 1], got {failure_threshold}"
+            )
+        if window < 1:
+            raise ValueError(f"window must be at least 1, got {window}")
+        if min_requests < 1:
+            raise ValueError(f"min_requests must be at least 1, got {min_requests}")
+        if cooldown_seconds < 0.0:
+            raise ValueError(
+                f"cooldown_seconds must be non-negative, got {cooldown_seconds}"
+            )
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be at least 1, got {half_open_probes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.min_requests = min_requests
+        self.cooldown_seconds = cooldown_seconds
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._outcomes: deque = deque(maxlen=window)  # True = failure
+        self._opened_at = 0.0
+        self._half_open_since = 0.0
+        self._probes_started = 0
+        self._probe_successes = 0
+        self._trips = 0
+        self._rejected = 0
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half_open when the cooldown passed."""
+        with self._lock:
+            return self._advance()
+
+    def allow(self) -> bool:
+        """True when a request may execute now (may consume a probe slot)."""
+        with self._lock:
+            state = self._advance()
+            if state == "closed":
+                return True
+            if state == "open":
+                self._rejected += 1
+                return False
+            # half-open: admit a bounded number of probes; if a probe went
+            # missing (e.g. shed at its deadline before executing), re-arm
+            # after another cooldown so the circuit cannot wedge half-open
+            if self._probes_started < self.half_open_probes:
+                self._probes_started += 1
+                return True
+            if self._clock() - self._half_open_since >= self.cooldown_seconds:
+                self._half_open_since = self._clock()
+                self._probes_started = 1
+                self._probe_successes = 0
+                return True
+            self._rejected += 1
+            return False
+
+    # --------------------------------------------------------------- feedback
+    def record_success(self) -> None:
+        """Feed one successfully executed query into the window."""
+        with self._lock:
+            state = self._advance()
+            if state == "half_open":
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._reset_closed()
+                return
+            self._outcomes.append(False)
+
+    def record_failure(self) -> None:
+        """Feed one executed-and-failed query into the window (may trip)."""
+        with self._lock:
+            state = self._advance()
+            if state == "half_open":
+                self._trip()
+                return
+            self._outcomes.append(True)
+            if len(self._outcomes) >= self.min_requests:
+                failures = sum(1 for failed in self._outcomes if failed)
+                if failures / len(self._outcomes) >= self.failure_threshold:
+                    self._trip()
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for :meth:`QueryService.health` and tests."""
+        with self._lock:
+            state = self._advance()
+            return {
+                "state": state,
+                "trips": self._trips,
+                "rejected": self._rejected,
+                "window_size": len(self._outcomes),
+                "window_failures": sum(1 for failed in self._outcomes if failed),
+            }
+
+    # -------------------------------------------------------------- internals
+    def _advance(self) -> str:
+        """State with the time-based open → half_open transition applied."""
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._state = "half_open"
+            self._half_open_since = self._clock()
+            self._probes_started = 0
+            self._probe_successes = 0
+        return self._state
+
+    def _trip(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._trips += 1
+        self._outcomes.clear()
+
+    def _reset_closed(self) -> None:
+        self._state = "closed"
+        self._outcomes.clear()
+        self._probes_started = 0
+        self._probe_successes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CircuitBreaker(state={self.state!r}, trips={self._trips})"

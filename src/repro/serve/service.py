@@ -34,6 +34,7 @@ so serving concurrency never oversubscribes the machine.
 from __future__ import annotations
 
 import queue
+import random
 import threading
 import time
 from concurrent.futures import Future
@@ -56,6 +57,7 @@ from repro.query.engine import AQPEngine
 from repro.query.executor import ExecutionResult
 from repro.query.planner import QueryPlan
 from repro.serve.admission import AdmissionController
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.cache import CacheKey, ResultCache, achieved_bound
 
 __all__ = ["ServeConfig", "Rejected", "QueryOutcome", "QueryTicket", "QueryService"]
@@ -78,8 +80,24 @@ class ServeConfig:
     max_retries: int = 2
     #: base sleep before a retry; doubles per attempt
     retry_backoff_seconds: float = 0.01
+    #: uniform jitter factor on retry backoff (0 = deterministic backoff);
+    #: 0.5 means each sleep is stretched by up to +50%, de-synchronising
+    #: retry herds when many queries fail at once
+    retry_jitter: float = 0.5
     #: exception types treated as transient (retried with a fresh child seed)
     retryable_errors: Tuple[type, ...] = (ConvergenceError, EstimationError)
+    #: master switch for the per-table circuit breaker
+    breaker_enabled: bool = True
+    #: executed-failure rate that trips a table's breaker
+    breaker_failure_threshold: float = 0.5
+    #: rolling window of executed outcomes the failure rate is computed over
+    breaker_window: int = 32
+    #: minimum executed outcomes in the window before the breaker may trip
+    breaker_min_requests: int = 10
+    #: seconds an open breaker rejects before letting probes through
+    breaker_cooldown_seconds: float = 2.0
+    #: consecutive probe successes that close a half-open breaker
+    breaker_half_open_probes: int = 2
     #: master switch for the precision-aware result cache
     cache_enabled: bool = True
     #: LRU bound on cached answers
@@ -101,17 +119,31 @@ class ServeConfig:
                 f"retry_backoff_seconds must be non-negative, "
                 f"got {self.retry_backoff_seconds}"
             )
+        if self.retry_jitter < 0:
+            raise ValueError(
+                f"retry_jitter must be non-negative, got {self.retry_jitter}"
+            )
         if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
             raise ValueError(
                 f"default_deadline_ms must be positive, got {self.default_deadline_ms}"
             )
+        # breaker knob validation is delegated to CircuitBreaker, which
+        # raises the same ValueError contract on construction
+        CircuitBreaker(
+            failure_threshold=self.breaker_failure_threshold,
+            window=self.breaker_window,
+            min_requests=self.breaker_min_requests,
+            cooldown_seconds=self.breaker_cooldown_seconds,
+            half_open_probes=self.breaker_half_open_probes,
+        )
 
 
 @dataclass(frozen=True)
 class Rejected:
     """Typed load-shedding outcome (the query was never executed)."""
 
-    #: ``"queue_full"`` (shed at submit) or ``"deadline"`` (shed at dequeue)
+    #: ``"queue_full"`` (shed at submit), ``"deadline"`` (shed at dequeue or
+    #: mid-retry), or ``"circuit_open"`` (the table's breaker is rejecting)
     reason: str
     message: str
 
@@ -209,6 +241,11 @@ class QueryService:
         self._failed = 0
         self._shed_deadline = 0
         self._retries = 0
+        self._rejected_circuit = 0
+        self._degraded = 0
+        # one breaker per (lower-cased) table, created on first execution
+        self._breaker_lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
         engine.catalog.subscribe(self._on_catalog_event)
         self._workers = [
             threading.Thread(
@@ -295,18 +332,61 @@ class QueryService:
         return self.cache.invalidate_table(table)
 
     def stats(self) -> Dict[str, Any]:
-        """Plain-dict serving counters (independent of the obs switch)."""
+        """Plain-dict serving counters (independent of the obs switch).
+
+        The counters are read under the service lock, so the snapshot is
+        internally consistent — e.g. ``completed + failed`` never exceeds
+        what ``submitted`` accounted for at the same instant.  The
+        ``rejected`` sub-dict breaks load shedding down by typed reason.
+        """
+        with self._lock:
+            queue_full = self._admission.rejected
+            snapshot = {
+                "workers": self.config.workers,
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "degraded": self._degraded,
+                "rejected": {
+                    "queue_full": queue_full,
+                    "deadline": self._shed_deadline,
+                    "circuit_open": self._rejected_circuit,
+                },
+                # legacy flat keys, kept for dashboards and older callers
+                "rejected_queue_full": queue_full,
+                "shed_deadline": self._shed_deadline,
+                "retries": self._retries,
+                "coalesced": self._coalesced,
+                "queue_depth": self._admission.depth,
+                "cache": (
+                    self.cache.stats.to_dict() if self.cache is not None else None
+                ),
+            }
+        return snapshot
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness/degradation report for external health checks.
+
+        ``status`` is ``"ok"`` when the service accepts queries and every
+        table breaker is closed, ``"degraded"`` when at least one breaker
+        is open or half-open, and ``"closed"`` after :meth:`close`.
+        """
+        with self._breaker_lock:
+            breakers = {
+                table: breaker.stats() for table, breaker in self._breakers.items()
+            }
+        with self._lock:
+            closed = self._closed
+        tripped = [
+            table for table, info in breakers.items() if info["state"] != "closed"
+        ]
+        status = "closed" if closed else ("degraded" if tripped else "ok")
         return {
-            "workers": self.config.workers,
-            "submitted": self._submitted,
-            "completed": self._completed,
-            "failed": self._failed,
-            "rejected_queue_full": self._admission.rejected,
-            "shed_deadline": self._shed_deadline,
-            "retries": self._retries,
-            "coalesced": self._coalesced,
+            "status": status,
+            "workers_alive": sum(1 for worker in self._workers if worker.is_alive()),
             "queue_depth": self._admission.depth,
-            "cache": self.cache.stats.to_dict() if self.cache is not None else None,
+            "breakers": breakers,
+            "tripped_tables": tripped,
         }
 
     def close(self, wait: bool = True) -> None:
@@ -330,6 +410,40 @@ class QueryService:
         return False
 
     # ------------------------------------------------------------- internals
+    def _breaker_for(self, table: str) -> CircuitBreaker:
+        key = table.lower()
+        with self._breaker_lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.config.breaker_failure_threshold,
+                    window=self.config.breaker_window,
+                    min_requests=self.config.breaker_min_requests,
+                    cooldown_seconds=self.config.breaker_cooldown_seconds,
+                    half_open_probes=self.config.breaker_half_open_probes,
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def _retry_backoff(
+        self, attempts: int, deadline: Optional[float]
+    ) -> Tuple[float, bool]:
+        """``(sleep_seconds, shed)`` for the retry after attempt ``attempts``.
+
+        The single place where retry pacing meets the deadline: exponential
+        base doubling per attempt, stretched by uniform jitter (so failure
+        herds spread out instead of retrying in lock-step), then checked
+        against the submission's remaining budget — a backoff the deadline
+        cannot absorb returns ``shed=True`` and the query is rejected now
+        rather than answered late.
+        """
+        backoff = self.config.retry_backoff_seconds * (2 ** (attempts - 1))
+        if self.config.retry_jitter > 0.0:
+            backoff *= 1.0 + self.config.retry_jitter * random.random()
+        if deadline is not None and deadline - time.monotonic() <= backoff:
+            return 0.0, True
+        return backoff, False
+
     def _on_catalog_event(self, event: str, table: str, version: int) -> None:
         # register / unregister / touch all invalidate eagerly; version keying
         # would shadow stale entries anyway, this frees their memory too.
@@ -424,6 +538,35 @@ class QueryService:
                     )
                 obs.counter("serve.cache.miss")
 
+            # ------------------------------------------------ circuit breaker
+            # Gated after the cache: serving a still-valid cached answer costs
+            # nothing and touches nothing broken, so an open circuit only
+            # blocks queries that would actually execute against the table.
+            breaker = (
+                self._breaker_for(plan.store.name)
+                if self.config.breaker_enabled
+                else None
+            )
+            if breaker is not None and not breaker.allow():
+                with self._lock:
+                    self._rejected_circuit += 1
+                obs.counter("serve.circuit.rejected")
+                sp.set_tag("outcome", "circuit_open")
+                return QueryOutcome(
+                    statement=item.statement,
+                    status="rejected",
+                    rejection=Rejected(
+                        reason="circuit_open",
+                        message=(
+                            f"circuit breaker for table {plan.store.name!r} is "
+                            f"{breaker.state}; retry after "
+                            f"{self.config.breaker_cooldown_seconds:g}s"
+                        ),
+                    ),
+                    queue_seconds=queue_seconds,
+                    total_seconds=time.monotonic() - item.enqueued_at,
+                )
+
             # ---------------------------------------------- request coalescing
             leader = False
             inflight: Optional[Future] = None
@@ -448,19 +591,35 @@ class QueryService:
                 if leader:
                     with self._inflight_lock:
                         self._inflight.pop(key, None)
-                    if outcome is not None and outcome.status == "ok":
+                    # degraded answers are never shared: a follower asked for
+                    # the full-precision answer, not one missing partitions
+                    if (
+                        outcome is not None
+                        and outcome.status == "ok"
+                        and outcome.result is not None
+                        and not outcome.result.degraded
+                    ):
                         inflight.set_result((outcome.result, achieved_bound(plan)))
                     else:
                         inflight.set_result((None, None))
-            if (
-                outcome.status == "ok"
-                and self.cache is not None
-                and key is not None
-                and outcome.result is not None
-            ):
-                bound = achieved_bound(plan)
-                if bound is not None:
-                    self.cache.put(key, outcome.result, *bound)
+            if breaker is not None:
+                # only *executed* outcomes are evidence about table health;
+                # deadline sheds during retries stay out of the window
+                if outcome.status == "ok":
+                    breaker.record_success()
+                elif outcome.status == "failed":
+                    breaker.record_failure()
+            if outcome.status == "ok" and outcome.result is not None:
+                if outcome.result.degraded:
+                    with self._lock:
+                        self._degraded += 1
+                    obs.counter("serve.degraded")
+                elif self.cache is not None and key is not None:
+                    # a degraded answer must not poison the precision-aware
+                    # cache — its widened CI would be served as if complete
+                    bound = achieved_bound(plan)
+                    if bound is not None:
+                        self.cache.put(key, outcome.result, *bound)
             sp.set_tag("outcome", outcome.status)
             obs.observe("serve.latency.seconds", outcome.total_seconds)
             return outcome
@@ -533,31 +692,28 @@ class QueryService:
                         queue_seconds=queue_seconds,
                         total_seconds=time.monotonic() - item.enqueued_at,
                     )
-                backoff = self.config.retry_backoff_seconds * (2 ** (attempts - 1))
-                if item.deadline is not None:
-                    # A retry must not outlive its deadline: if the deadline
-                    # has passed — or would pass while backing off — shed the
-                    # query now rather than answer late.
-                    remaining = item.deadline - time.monotonic()
-                    if remaining <= backoff:
-                        with self._lock:
-                            self._shed_deadline += 1
-                        obs.counter("serve.deadline.shed")
-                        return QueryOutcome(
-                            statement=item.statement,
-                            status="rejected",
-                            rejection=Rejected(
-                                reason="deadline",
-                                message=(
-                                    f"deadline reached after {attempts} "
-                                    f"attempt(s); not retrying"
-                                ),
+                backoff, shed = self._retry_backoff(attempts, item.deadline)
+                if shed:
+                    # the deadline has passed — or would pass while backing
+                    # off — so shed the query now rather than answer late
+                    with self._lock:
+                        self._shed_deadline += 1
+                    obs.counter("serve.deadline.shed")
+                    return QueryOutcome(
+                        statement=item.statement,
+                        status="rejected",
+                        rejection=Rejected(
+                            reason="deadline",
+                            message=(
+                                f"deadline reached after {attempts} "
+                                f"attempt(s); not retrying"
                             ),
-                            error=exc,
-                            attempts=attempts,
-                            queue_seconds=queue_seconds,
-                            total_seconds=time.monotonic() - item.enqueued_at,
-                        )
+                        ),
+                        error=exc,
+                        attempts=attempts,
+                        queue_seconds=queue_seconds,
+                        total_seconds=time.monotonic() - item.enqueued_at,
+                    )
                 with self._lock:
                     self._retries += 1
                 obs.counter("serve.retry")

@@ -50,6 +50,11 @@ class BlockStore:
     name: str
     _blocks: List[Block] = field(default_factory=list)
     default_column: str = "value"
+    #: block ids excluded at load time because their on-disk payload failed
+    #: CRC verification — answers over this store are degraded, never garbage
+    quarantined: tuple = ()
+    #: rows the quarantined blocks held according to the manifest
+    quarantined_rows: int = 0
 
     # ------------------------------------------------------------ properties
     @property

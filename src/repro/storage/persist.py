@@ -33,15 +33,17 @@ Guarantees
 
 from __future__ import annotations
 
+import io
 import json
 import os
+import zlib
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro import obs
-from repro.errors import EmptyDataError, StorageError
+from repro import faults, obs
+from repro.errors import DataCorruptionError, EmptyDataError, StorageError
 from repro.storage.block import Block
 from repro.storage.blockstore import BlockStore
 from repro.storage.wal import WalRecord, WriteAheadLog, replay_wal
@@ -75,14 +77,24 @@ def _atomic_write_bytes(path: Path, data: bytes) -> None:
     os.replace(tmp, path)
 
 
-def _atomic_save_array(path: Path, values: np.ndarray) -> int:
+def _atomic_save_array(path: Path, values: np.ndarray) -> Tuple[int, int]:
+    """Write one column file atomically; returns ``(bytes, crc32)``.
+
+    The array is serialised once into memory so the CRC covers exactly the
+    bytes that land on disk — the manifest's per-column checksum then lets
+    the read path prove a block file intact before mmap'ing it.
+    """
+    buffer = io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(values, dtype=float))
+    payload = buffer.getvalue()
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as handle:
-        np.save(handle, np.ascontiguousarray(values, dtype=float))
+        handle.write(payload)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
-    return path.stat().st_size
+    return len(payload), crc
 
 
 def _column_filename(block_id: int, column: str) -> str:
@@ -95,8 +107,12 @@ def _column_filename(block_id: int, column: str) -> str:
 # manifest
 # --------------------------------------------------------------------------
 
-def _build_manifest(store: BlockStore, table_version: int) -> Dict[str, Any]:
-    return {
+def _build_manifest(
+    store: BlockStore,
+    table_version: int,
+    crcs: Optional[Dict[Tuple[int, str], int]] = None,
+) -> Dict[str, Any]:
+    manifest = {
         "format_version": FORMAT_VERSION,
         "name": store.name,
         "default_column": store.default_column,
@@ -115,6 +131,17 @@ def _build_manifest(store: BlockStore, table_version: int) -> Dict[str, Any]:
             for block in store.blocks
         ],
     }
+    # checksums are an optional manifest key: snapshots written by older
+    # builds (no "crc32") still open, they just cannot be verified
+    if crcs:
+        for spec in manifest["blocks"]:
+            block_id = spec["block_id"]
+            spec["crc32"] = {
+                column: crcs[(block_id, column)]
+                for column in spec["files"]
+                if (block_id, column) in crcs
+            }
+    return manifest
 
 
 def load_manifest(directory: Union[str, os.PathLike]) -> Dict[str, Any]:
@@ -157,15 +184,18 @@ def save_store(
     if not store.blocks:
         raise StorageError(f"refusing to snapshot empty store {store.name!r}")
     written_bytes = 0
+    crcs: Dict[Tuple[int, str], int] = {}
     with obs.span(
         "persist.snapshot", table=store.name, blocks=store.block_count
     ) as sp:
         for block in store.blocks:
             for column in block.column_names:
                 path = blocks_dir / _column_filename(block.block_id, column)
-                written_bytes += _atomic_save_array(path, block.column(column))
+                size, crc = _atomic_save_array(path, block.column(column))
+                written_bytes += size
+                crcs[(block.block_id, column)] = crc
         _fsync_directory(blocks_dir)
-        manifest = _build_manifest(store, table_version)
+        manifest = _build_manifest(store, table_version, crcs)
         payload = json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8")
         _atomic_write_bytes(target / MANIFEST_NAME, payload)
         # a snapshot subsumes every logged append: reset the WAL after commit
@@ -179,21 +209,65 @@ def save_store(
     return target / MANIFEST_NAME
 
 
+def _verify_column(
+    path: Path, spec: Dict[str, Any], column: str, table: str
+) -> Optional[str]:
+    """Reason this column file is corrupt, or ``None`` when it checks out.
+
+    Compares the file bytes against the manifest's recorded CRC-32 (when the
+    snapshot carries one); an active ``block.bitflip`` fault treats the block
+    as corrupt even though the bytes on disk are fine, which is exactly how
+    a flipped bit caught by the checksum would present.
+    """
+    block_id = int(spec["block_id"])
+    injector = faults.active()
+    if injector is not None and injector.bitflip(table, block_id):
+        return "injected bit flip"
+    expected = (spec.get("crc32") or {}).get(column)
+    if expected is None:
+        return None
+    actual = zlib.crc32(path.read_bytes()) & 0xFFFFFFFF
+    if actual != int(expected):
+        return f"crc mismatch (manifest {int(expected):#010x}, file {actual:#010x})"
+    return None
+
+
 def _load_blocks(
-    directory: Path, manifest: Dict[str, Any], mmap: bool
-) -> List[Block]:
+    directory: Path, manifest: Dict[str, Any], mmap: bool, verify: bool = False
+) -> Tuple[List[Block], List[Tuple[int, int]]]:
+    """Load the manifest's blocks; returns ``(blocks, quarantined)``.
+
+    With ``verify=True`` a block whose file fails CRC verification (or is
+    missing/mis-shaped) is *quarantined* — excluded from the store and
+    reported as ``(block_id, rows)`` — instead of poisoning the open.  The
+    aggregators then treat quarantined blocks as failed partitions and
+    answer degraded rather than reading garbage through the mmap.
+    """
     mmap_mode = "r" if mmap else None
+    table = str(manifest["name"])
     blocks: List[Block] = []
+    quarantined: List[Tuple[int, int]] = []
     for spec in manifest["blocks"]:
         columns: Dict[str, np.ndarray] = {}
+        corrupt: Optional[str] = None
         for column, relative in spec["files"].items():
             path = directory / relative
             if not path.exists():
+                if verify:
+                    corrupt = "missing block file"
+                    break
                 raise StorageError(
                     f"manifest references missing block file {path}"
                 )
+            if verify:
+                corrupt = _verify_column(path, spec, column, table)
+                if corrupt is not None:
+                    break
             values = np.load(path, mmap_mode=mmap_mode)
             if values.ndim != 1 or int(values.size) != int(spec["rows"]):
+                if verify:
+                    corrupt = f"shape {values.shape} != {spec['rows']} rows"
+                    break
                 raise StorageError(
                     f"block file {path} has shape {values.shape}, "
                     f"manifest says {spec['rows']} rows"
@@ -201,16 +275,28 @@ def _load_blocks(
             if mmap:
                 obs.counter("persist.mmap.open")
             columns[column] = values
+        if corrupt is not None:
+            quarantined.append((int(spec["block_id"]), int(spec["rows"])))
+            obs.counter("persist.quarantined")
+            with obs.span(
+                "persist.quarantine",
+                table=table,
+                block=int(spec["block_id"]),
+                reason=corrupt,
+            ):
+                pass
+            continue
         blocks.append(Block(block_id=int(spec["block_id"]), columns=columns))
-    return blocks
+    return blocks, quarantined
 
 
 def open_store(
     directory: Union[str, os.PathLike],
     mmap: bool = True,
+    verify: bool = False,
 ) -> "DurableBlockStore":
     """Open a durable store, replaying the WAL (alias of ``DurableBlockStore.open``)."""
-    return DurableBlockStore.open(directory, mmap=mmap)
+    return DurableBlockStore.open(directory, mmap=mmap, verify=verify)
 
 
 # --------------------------------------------------------------------------
@@ -266,7 +352,10 @@ class DurableBlockStore:
 
     @classmethod
     def open(
-        cls, directory: Union[str, os.PathLike], mmap: bool = True
+        cls,
+        directory: Union[str, os.PathLike],
+        mmap: bool = True,
+        verify: bool = False,
     ) -> "DurableBlockStore":
         """Open ``directory``, replaying the append-ahead log.
 
@@ -274,36 +363,67 @@ class DurableBlockStore:
         away so subsequent appends extend a consistent log.  Each replayed
         append bumps the recovered table version exactly as the original
         append did before the crash.
+
+        With ``verify=True`` every block file is checked against the
+        manifest's CRC-32 before it is mmap'd; corrupt blocks are
+        quarantined (listed on ``store.quarantined``) and the surviving
+        store answers queries degraded instead of reading garbage.  A store
+        whose blocks are *all* corrupt refuses to open.
         """
         target = Path(directory)
-        with obs.span("persist.open", directory=str(target), mmap=mmap) as sp:
+        with obs.span(
+            "persist.open", directory=str(target), mmap=mmap, verify=verify
+        ) as sp:
             manifest = load_manifest(target)
-            blocks = _load_blocks(target, manifest, mmap)
+            blocks, quarantined = _load_blocks(target, manifest, mmap, verify)
+            if not blocks:
+                raise DataCorruptionError(
+                    f"every block of {manifest['name']!r} under {target} failed "
+                    f"verification ({len(quarantined)} quarantined)"
+                )
             store = BlockStore.from_blocks(
                 manifest["name"], blocks, default_column=manifest["default_column"]
             )
+            if quarantined:
+                store.quarantined = tuple(sorted(bid for bid, _ in quarantined))
+                store.quarantined_rows = sum(rows for _, rows in quarantined)
+                sp.set_tag("quarantined", len(quarantined))
             version = int(manifest["table_version"])
 
             records, torn_bytes = replay_wal(target / WAL_NAME)
+            applied_count = 0
             if records or torn_bytes:
                 with obs.span(
                     "persist.recovery",
                     replayed=len(records),
                     torn_bytes=torn_bytes,
-                ):
+                ) as rsp:
+                    seen_ids = {block.block_id for block in store.blocks}
                     for record in records:
+                        # Idempotent replay: a frame whose block id already
+                        # exists is a duplicate delivery (the writer fsync'd,
+                        # crashed before acking, and re-appended) — skip it
+                        # rather than double-apply the rows.
+                        if record.block_id in seen_ids:
+                            obs.counter("persist.wal.duplicate")
+                            continue
                         applied = store.append_block(
                             record.values, column=record.column
                         )
-                        if applied.block_id != record.block_id:
+                        seen_ids.add(applied.block_id)
+                        # quarantined blocks leave id gaps, so replayed
+                        # appends may legitimately land on shifted ids
+                        if applied.block_id != record.block_id and not quarantined:
                             raise StorageError(
                                 f"WAL replay for {store.name!r} produced block "
                                 f"{applied.block_id}, log recorded {record.block_id}"
                             )
+                        applied_count += 1
                         version = max(version + 1, record.version)
                     if torn_bytes:
                         _truncate_torn_tail(target / WAL_NAME, torn_bytes)
-                obs.counter("persist.wal.replayed", len(records))
+                    rsp.set_tag("applied", applied_count)
+                obs.counter("persist.wal.replayed", applied_count)
                 if torn_bytes:
                     obs.counter("persist.wal.torn")
                     obs.counter("persist.wal.torn.bytes", torn_bytes)
@@ -314,7 +434,7 @@ class DurableBlockStore:
             store=store,
             table_version=version,
             mmap=mmap,
-            recovered_appends=len(records),
+            recovered_appends=applied_count,
             recovered_torn_bytes=torn_bytes,
         )
 

@@ -29,8 +29,8 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro import obs
-from repro.errors import StorageError
+from repro import faults, obs
+from repro.errors import InjectedFault, StorageError
 
 __all__ = ["WalRecord", "WriteAheadLog", "replay_wal"]
 
@@ -129,11 +129,29 @@ class WriteAheadLog:
         self._handle = open(self.path, "ab")
 
     def append(self, record: WalRecord) -> None:
-        """Durably log one append (write + flush + fsync) before it applies."""
+        """Durably log one append (write + flush + fsync) before it applies.
+
+        An active ``wal.torn_frame`` fault simulates a crash mid-write: the
+        frame is persisted *truncated* (as a real power cut would leave it)
+        and the append fails before it applies in memory — replay on reopen
+        must then discard the torn tail and recover the consistent prefix.
+        """
         if self._handle.closed:
             raise StorageError(f"write-ahead log {self.path} is closed")
+        encoded = record.encode()
+        injector = faults.active()
+        if injector is not None and injector.torn_frame(record.block_id):
+            torn = encoded[: max(1, len(encoded) // 2)]
+            self._handle.write(torn)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            raise InjectedFault(
+                "wal.torn_frame",
+                f"injected torn WAL frame for block {record.block_id} "
+                f"({len(torn)} of {len(encoded)} bytes persisted)",
+            )
         with obs.span("persist.wal.append", rows=int(record.values.size)):
-            self._handle.write(record.encode())
+            self._handle.write(encoded)
             self._handle.flush()
             os.fsync(self._handle.fileno())
         obs.counter("persist.wal.append")

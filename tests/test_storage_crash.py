@@ -196,3 +196,125 @@ class TestTornTailSweep:
             result = engine.execute(STMT)
         control = _control_engine(2)
         assert result.value == control.execute(STMT).value
+
+
+class TestWalEdgeCases:
+    """Log shapes a crash can leave behind that a naive replay mishandles."""
+
+    def _fresh_store(self, tmp_path):
+        store_dir = tmp_path / "t"
+        base = BlockStore.from_array("t", _base_values(), block_count=BASE_BLOCKS)
+        durable = DurableBlockStore.create(base, store_dir)
+        return store_dir, durable
+
+    def test_duplicate_final_frame_applies_once(self, tmp_path):
+        # A writer that fsync'd a frame, crashed before acking, and was
+        # restarted by a naive supervisor re-appends the same payload: the
+        # log then holds the frame twice.  Replay is idempotent on block
+        # ids — the duplicate delivery is skipped, not double-applied, so
+        # the recovered row count and version match a single append.
+        store_dir, durable = self._fresh_store(tmp_path)
+        durable.append_block(_batch(0))
+        durable.close()
+        wal_path = store_dir / "wal.log"
+        frame = wal_path.read_bytes()
+        wal_path.write_bytes(frame + frame)
+
+        records, torn = replay_wal(wal_path)
+        assert torn == 0
+        assert len(records) == 2  # both frames decode...
+        assert records[0].block_id == records[1].block_id
+        recovered = DurableBlockStore.open(store_dir)
+        assert recovered.recovered_appends == 1  # ...but only one applies
+        assert recovered.store.total_rows == BASE_ROWS + BATCH_ROWS
+        assert recovered.table_version == 2
+        recovered.close()
+
+    def test_zero_length_log_recovers_cleanly(self, tmp_path):
+        # a crash after creating the log file but before the first frame
+        store_dir, durable = self._fresh_store(tmp_path)
+        durable.close()
+        (store_dir / "wal.log").write_bytes(b"")
+        recovered = DurableBlockStore.open(store_dir)
+        assert recovered.recovered_appends == 0
+        assert recovered.recovered_torn_bytes == 0
+        assert recovered.store.total_rows == BASE_ROWS
+        recovered.close()
+
+    def test_crc_valid_frame_with_truncated_payload_is_torn(self, tmp_path):
+        # Adversarial tear: the header claims more rows than the payload
+        # holds, and the *file* ends exactly where a CRC word would sit, so
+        # the trailing 4 bytes of payload parse as a CRC candidate.  The
+        # decoder must size the record from the header, notice the payload
+        # cannot fit before EOF, and declare the frame torn — never hand
+        # back a short-read array.
+        store_dir, durable = self._fresh_store(tmp_path)
+        durable.append_block(_batch(0))
+        durable.close()
+        wal_path = store_dir / "wal.log"
+        frame = wal_path.read_bytes()
+        wal_path.write_bytes(frame[: len(frame) - BATCH_ROWS * 4])
+
+        records, torn = replay_wal(wal_path)
+        assert records == []
+        assert torn > 0
+        recovered = DurableBlockStore.open(store_dir)
+        assert recovered.recovered_appends == 0
+        assert recovered.store.total_rows == BASE_ROWS
+        recovered.close()
+
+    def test_catalog_versions_stay_monotonic_across_recovery(self, tmp_path):
+        # version-keyed caches rely on versions never moving backwards:
+        # snapshot at v, crash with 2 logged appends, reopen -> v+2, and a
+        # live append on the recovered store continues from there
+        store_dir, durable = self._fresh_store(tmp_path)
+        durable.append_block(_batch(0))
+        durable.append_block(_batch(1))
+        base_version = durable.table_version
+        durable.close()
+
+        observed = []
+        with AQPEngine(seed=7) as engine:
+            engine.catalog.subscribe(
+                lambda event, table, version: observed.append(version)
+            )
+            engine.open(store_dir)
+            recovered_version = engine.catalog.version("t")
+            assert recovered_version == base_version
+            engine.append_array("t", _batch(2))
+            final_version = engine.catalog.version("t")
+        assert final_version == recovered_version + 1
+        assert observed == sorted(observed)
+
+
+class TestInjectedTornFrames:
+    def test_injected_torn_frame_fails_append_and_recovers(self, tmp_path):
+        from repro import faults
+        from repro.errors import InjectedFault
+        from repro.faults import FaultPlan, FaultSpec, fault_scope
+
+        store_dir = tmp_path / "t"
+        base = BlockStore.from_array("t", _base_values(), block_count=BASE_BLOCKS)
+        durable = DurableBlockStore.create(base, store_dir)
+        durable.append_block(_batch(0))
+
+        plan = FaultPlan(seed=0, specs=(FaultSpec(site="wal.torn_frame"),))
+        with fault_scope(plan):
+            with pytest.raises(InjectedFault):
+                durable.append_block(_batch(1))
+        assert faults.active() is None
+        # the failed append neither applied in memory nor bumped the version
+        assert durable.store.total_rows == BASE_ROWS + BATCH_ROWS
+        durable.close()
+
+        # reopen: the torn frame is discarded, the intact prefix replays
+        recovered = DurableBlockStore.open(store_dir)
+        assert recovered.recovered_appends == 1
+        assert recovered.recovered_torn_bytes > 0
+        assert recovered.store.total_rows == BASE_ROWS + BATCH_ROWS
+        # and the log is consistent again for new appends
+        recovered.append_block(_batch(1))
+        recovered.close()
+        records, torn = replay_wal(store_dir / "wal.log")
+        assert torn == 0
+        assert len(records) == 2
